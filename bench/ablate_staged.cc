@@ -1,0 +1,72 @@
+// Ablation A1 (Sections 6.2/6.3): staged cohort execution vs conventional
+// tuple-at-a-time execution of the same scan queries (Q1/Q6).
+//
+// Expected effects of L1-sized cohort packets:
+//   * higher L1I locality — one stage's code runs over a whole packet
+//     instead of re-entering every operator per tuple;
+//   * higher L1D locality — a packet is consumed while still L1-resident;
+//   * fewer L2-hit and off-chip stalls per instruction on both camps.
+#include "bench/bench_util.h"
+
+using namespace stagedcmp;
+
+int main() {
+  harness::WorkloadFactory factory;
+
+  benchutil::PrintResultHeader(
+      "Ablation: staged (cohort) vs tuple-at-a-time execution, DSS scans, "
+      "4-core FC CMP, 8MB L2");
+  // Note: UIPC rewards an engine for its own bookkeeping instructions, so
+  // the headline metric is completed queries per billion cycles.
+  TablePrinter table({"engine", "queries/Gcycle", "UIPC", "L1D hit",
+                      "L1I hit", "i-stall", "d-stall"});
+
+  struct Mode {
+    const char* name;
+    harness::EngineMode mode;
+  };
+  const Mode modes[] = {
+      {"volcano (per-tuple ops)", harness::EngineMode::kVolcano},
+      {"staged, 1-tuple packets", harness::EngineMode::kStagedTuple},
+      {"staged, L1-sized cohorts", harness::EngineMode::kStagedCohort},
+  };
+
+  double volcano_uipc = 0.0, cohort_uipc = 0.0;
+  for (const Mode& m : modes) {
+    harness::TraceSetConfig tc;
+    tc.workload = harness::WorkloadKind::kDss;
+    tc.clients = 4;  // one per core: every query completes, so the
+    tc.requests_per_client = 2;  // response-time metric is exact
+    tc.seed = 61;
+    tc.engine = m.mode;
+    harness::TraceSet traces = factory.Build(tc);
+
+    harness::ExperimentConfig ec;
+    ec.camp = coresim::Camp::kFat;
+    ec.cores = 4;
+    ec.l2_bytes = 8ull << 20;
+    ec.saturated = false;  // run each query to completion
+    coresim::SimResult r = harness::RunExperiment(ec, traces);
+    const double t = r.breakdown.total();
+    const double qpg = 1e9 / r.avg_response_cycles;
+    table.AddRow({m.name, TablePrinter::Num(qpg, 1),
+                  TablePrinter::Num(r.uipc(), 3),
+                  TablePrinter::Pct(r.l1d_hit_rate),
+                  TablePrinter::Pct(r.l1i_hit_rate),
+                  TablePrinter::Pct(r.breakdown.i_stalls() / t),
+                  TablePrinter::Pct(r.breakdown.d_stalls() / t)});
+    if (m.mode == harness::EngineMode::kVolcano) volcano_uipc = qpg;
+    if (m.mode == harness::EngineMode::kStagedCohort) cohort_uipc = qpg;
+  }
+  table.Print();
+  std::printf(
+      "\nstaged-cohort query-throughput vs volcano: %.2fx\n"
+      "Mechanism check (what Section 6.3 predicts): cohorts cut the d-stall\n"
+      "fraction and keep one stage's code L1I-resident; 1-tuple packets show\n"
+      "the locality without batching. The naive packet implementation pays a\n"
+      "~2x instruction overhead (copies + scheduling) that offsets the stall\n"
+      "savings on this single-query stream — the paper proposes staging as a\n"
+      "direction and does not claim a measured end-to-end win.\n",
+      volcano_uipc > 0 ? cohort_uipc / volcano_uipc : 0.0);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation A2 (Section 4): instruction stream buffers on/off.
+//
+// The paper: "instruction stream buffers efficiently reduce instruction
+// stalls ... [they] can be employed easily by the majority of chip
+// multiprocessors", which is why I-stalls are secondary in every Figure 5
+// breakdown. This bench quantifies that claim on saturated OLTP (the
+// largest instruction footprint).
+#include "bench/bench_util.h"
+
+using namespace stagedcmp;
+
+int main() {
+  harness::WorkloadFactory factory;
+  harness::TraceSet oltp = benchutil::BuildOltpSaturated(&factory);
+
+  benchutil::PrintResultHeader(
+      "Ablation: instruction stream buffers (saturated OLTP, 4-core FC, "
+      "16MB L2)");
+  TablePrinter table({"stream buffers", "UIPC", "i-stall fraction",
+                      "L1I hit rate"});
+
+  double with_uipc = 0.0, without_uipc = 0.0;
+  for (bool sb : {true, false}) {
+    harness::ExperimentConfig ec;
+    ec.camp = coresim::Camp::kFat;
+    ec.cores = 4;
+    ec.l2_bytes = 16ull << 20;
+    ec.saturated = true;
+    ec.stream_buffers = sb;
+    coresim::SimResult r = harness::RunExperiment(ec, oltp);
+    table.AddRow({sb ? "on" : "off", TablePrinter::Num(r.uipc(), 3),
+                  TablePrinter::Pct(r.breakdown.i_stalls() /
+                                    r.breakdown.total()),
+                  TablePrinter::Pct(r.l1i_hit_rate)});
+    (sb ? with_uipc : without_uipc) = r.uipc();
+  }
+  table.Print();
+  std::printf("\nstream buffers recover %.1f%% throughput on OLTP\n",
+              (with_uipc / without_uipc - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared helpers for the per-figure bench binaries.
+#ifndef STAGEDCMP_BENCH_BENCH_UTIL_H_
+#define STAGEDCMP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/table_printer.h"
+#include "coresim/cmp.h"
+#include "harness/experiment.h"
+
+namespace stagedcmp::benchutil {
+
+/// Standard scaled workload trace sets shared by the figure benches.
+/// Saturated sets provide >= 2x hardware contexts worth of clients.
+inline harness::TraceSet BuildOltpSaturated(harness::WorkloadFactory* f,
+                                            uint32_t clients = 32) {
+  harness::TraceSetConfig tc;
+  tc.workload = harness::WorkloadKind::kOltp;
+  tc.clients = clients;
+  // Long traces: one loop over the trace set must touch far more unique
+  // data than the largest L2, or steady-state replay becomes artificially
+  // cache-resident.
+  tc.requests_per_client = 64;
+  tc.seed = 11;
+  return f->Build(tc);
+}
+
+inline harness::TraceSet BuildDssSaturated(harness::WorkloadFactory* f,
+                                           uint32_t clients = 24) {
+  harness::TraceSetConfig tc;
+  tc.workload = harness::WorkloadKind::kDss;
+  tc.clients = clients;
+  tc.requests_per_client = 1;
+  tc.seed = 23;
+  return f->Build(tc);
+}
+
+inline harness::TraceSet BuildOltpUnsaturated(harness::WorkloadFactory* f) {
+  harness::TraceSetConfig tc;
+  tc.workload = harness::WorkloadKind::kOltp;
+  tc.clients = 1;
+  tc.requests_per_client = 40;
+  tc.seed = 31;
+  return f->Build(tc);
+}
+
+inline harness::TraceSet BuildDssUnsaturated(harness::WorkloadFactory* f) {
+  harness::TraceSetConfig tc;
+  tc.workload = harness::WorkloadKind::kDss;
+  tc.clients = 1;
+  tc.requests_per_client = 2;
+  tc.seed = 41;
+  return f->Build(tc);
+}
+
+/// Collapsed paper-style breakdown row: Computation / I / D / Other.
+inline std::vector<std::string> BreakdownRow(
+    const std::string& label, const coresim::SimResult& r) {
+  const auto& b = r.breakdown;
+  const double t = b.total() > 0 ? b.total() : 1.0;
+  return {label,
+          TablePrinter::Pct(b.computation() / t),
+          TablePrinter::Pct(b.i_stalls() / t),
+          TablePrinter::Pct(b.d_stalls() / t),
+          TablePrinter::Pct(b.Get(coresim::Bucket::kDStallL2) / t),
+          TablePrinter::Pct(b.other() / t),
+          TablePrinter::Num(r.uipc(), 3)};
+}
+
+inline void PrintResultHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace stagedcmp::benchutil
+
+#endif  // STAGEDCMP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,62 @@
+// Figure 3: simulator validation against hardware-counter measurements.
+//
+// The paper validates FLEXUS against an IBM OpenPower720 (Power5) running
+// the saturated DSS workload, using pmcount-derived CPI breakdowns, and
+// reports: overall CPI within 5%, computation component ~10% higher on
+// hardware, data stalls ~15% higher in the simulator (no prefetcher).
+//
+// We cannot measure a Power5; instead we replay saturated DSS on a Power5-
+// like configuration (4 cores, ~2MB fast shared L2) and compare our CPI
+// breakdown against the *published* hardware-derived breakdown, using the
+// same acceptance bands (see DESIGN.md substitution table).
+#include "bench/bench_util.h"
+
+using namespace stagedcmp;
+
+int main() {
+  harness::WorkloadFactory factory;
+  harness::TraceSet dss = benchutil::BuildDssSaturated(&factory);
+
+  harness::ExperimentConfig ec;
+  ec.camp = coresim::Camp::kFat;
+  ec.cores = 4;
+  ec.l2_bytes = 2ull << 20;   // Power5-era on-chip L2 (1.9MB)
+  ec.memory_latency = 140;    // Power5 L2 misses mostly hit the 36MB
+                              // off-chip L3, not raw DRAM
+  ec.saturated = true;
+  coresim::SimResult r = harness::RunExperiment(ec, dss);
+
+  // Published OpenPower720 breakdown (Figure 3 of the paper), CPI ~1.45:
+  // computation ~0.55, I-stalls ~0.10, D-stalls ~0.60, other ~0.20.
+  const double hw_cpi = 1.45;
+  const double hw_comp = 0.55, hw_i = 0.10, hw_d = 0.60, hw_other = 0.20;
+
+  const double n = static_cast<double>(r.instructions);
+  const double sim_cpi = r.cpi();
+  const double sim_comp = r.breakdown.computation() / n;
+  const double sim_i = r.breakdown.i_stalls() / n;
+  const double sim_d = r.breakdown.d_stalls() / n;
+  const double sim_other = r.breakdown.other() / n;
+
+  benchutil::PrintResultHeader(
+      "Figure 3: validation vs published Power5 counter breakdown "
+      "(saturated DSS)");
+  TablePrinter table({"component", "this simulator", "OpenPower720 (paper)",
+                      "delta"});
+  auto row = [&](const char* name, double sim, double hw) {
+    table.AddRow({name, TablePrinter::Num(sim, 2), TablePrinter::Num(hw, 2),
+                  TablePrinter::Pct(hw > 0 ? (sim - hw) / hw : 0.0)});
+  };
+  row("CPI", sim_cpi, hw_cpi);
+  row("computation", sim_comp, hw_comp);
+  row("I-stalls", sim_i, hw_i);
+  row("D-stalls", sim_d, hw_d);
+  row("other", sim_other, hw_other);
+  table.Print();
+
+  std::printf("\npaper bands: |CPI delta| <= ~5-15%%; computation lower in "
+              "sim (hw grouping/cracking overhead);\nD-stalls higher in sim "
+              "(no hardware prefetcher). Measured CPI delta: %+.1f%%\n",
+              (sim_cpi - hw_cpi) / hw_cpi * 100.0);
+  return 0;
+}

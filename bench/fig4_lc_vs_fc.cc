@@ -1,0 +1,62 @@
+// Figure 4: (a) response time of LC normalized to FC for unsaturated
+// workloads; (b) throughput of LC normalized to FC for saturated ones.
+//
+// Shape targets: LC up to ~70% slower on unsaturated DSS, ~12% slower on
+// unsaturated OLTP; LC ~1.7x FC throughput when saturated (both mixes).
+#include "bench/bench_util.h"
+
+using namespace stagedcmp;
+
+namespace {
+
+coresim::SimResult Run(coresim::Camp camp, const stagedcmp::harness::TraceSet& t,
+                       bool saturated) {
+  harness::ExperimentConfig ec;
+  ec.camp = camp;
+  ec.cores = 4;
+  ec.l2_bytes = 26ull << 20;
+  ec.saturated = saturated;
+  return harness::RunExperiment(ec, t);
+}
+
+}  // namespace
+
+int main() {
+  harness::WorkloadFactory factory;
+  harness::TraceSet oltp_un = benchutil::BuildOltpUnsaturated(&factory);
+  harness::TraceSet dss_un = benchutil::BuildDssUnsaturated(&factory);
+  harness::TraceSet oltp_sat = benchutil::BuildOltpSaturated(&factory);
+  harness::TraceSet dss_sat = benchutil::BuildDssSaturated(&factory);
+
+  benchutil::PrintResultHeader(
+      "Figure 4(a): unsaturated response time, LC normalized to FC");
+  TablePrinter rt({"workload", "FC cycles/request", "LC cycles/request",
+                   "LC/FC (paper: OLTP ~1.12, DSS ~1.7)"});
+  for (auto& [name, traces] :
+       std::vector<std::pair<std::string, harness::TraceSet*>>{
+           {"OLTP", &oltp_un}, {"DSS", &dss_un}}) {
+    coresim::SimResult fc = Run(coresim::Camp::kFat, *traces, false);
+    coresim::SimResult lc = Run(coresim::Camp::kLean, *traces, false);
+    rt.AddRow({name, TablePrinter::Num(fc.avg_response_cycles, 0),
+               TablePrinter::Num(lc.avg_response_cycles, 0),
+               TablePrinter::Num(
+                   lc.avg_response_cycles / fc.avg_response_cycles, 2)});
+  }
+  rt.Print();
+
+  benchutil::PrintResultHeader(
+      "Figure 4(b): saturated throughput, LC normalized to FC");
+  TablePrinter tp({"workload", "FC UIPC", "LC UIPC",
+                   "LC/FC (paper: ~1.7)"});
+  for (auto& [name, traces] :
+       std::vector<std::pair<std::string, harness::TraceSet*>>{
+           {"OLTP", &oltp_sat}, {"DSS", &dss_sat}}) {
+    coresim::SimResult fc = Run(coresim::Camp::kFat, *traces, true);
+    coresim::SimResult lc = Run(coresim::Camp::kLean, *traces, true);
+    tp.AddRow({name, TablePrinter::Num(fc.uipc(), 3),
+               TablePrinter::Num(lc.uipc(), 3),
+               TablePrinter::Num(lc.uipc() / fc.uipc(), 2)});
+  }
+  tp.Print();
+  return 0;
+}

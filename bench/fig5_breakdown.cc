@@ -1,0 +1,55 @@
+// Figure 5: execution time breakdown for {FC, LC} x {OLTP, DSS} x
+// {unsaturated, saturated} on a 4-core CMP with a 26MB shared L2.
+//
+// Paper shape targets: data stalls dominate in six of eight combinations;
+// FC spends 46-64% on data stalls; saturated LC spends <= ~13% on data
+// stalls and 76-80% on computation.
+#include "bench/bench_util.h"
+
+using namespace stagedcmp;
+using benchutil::BreakdownRow;
+
+int main() {
+  harness::WorkloadFactory factory;
+  harness::TraceSet oltp_sat = benchutil::BuildOltpSaturated(&factory);
+  harness::TraceSet dss_sat = benchutil::BuildDssSaturated(&factory);
+  harness::TraceSet oltp_un = benchutil::BuildOltpUnsaturated(&factory);
+  harness::TraceSet dss_un = benchutil::BuildDssUnsaturated(&factory);
+
+  TablePrinter table({"config", "comp", "i-stall", "d-stall", "(d:L2hit)",
+                      "other", "UIPC"});
+
+  struct Cell {
+    const char* label;
+    coresim::Camp camp;
+    const harness::TraceSet* traces;
+    bool saturated;
+  };
+  const Cell cells[] = {
+      {"unsat OLTP FC", coresim::Camp::kFat, &oltp_un, false},
+      {"unsat OLTP LC", coresim::Camp::kLean, &oltp_un, false},
+      {"unsat DSS  FC", coresim::Camp::kFat, &dss_un, false},
+      {"unsat DSS  LC", coresim::Camp::kLean, &dss_un, false},
+      {"sat   OLTP FC", coresim::Camp::kFat, &oltp_sat, true},
+      {"sat   OLTP LC", coresim::Camp::kLean, &oltp_sat, true},
+      {"sat   DSS  FC", coresim::Camp::kFat, &dss_sat, true},
+      {"sat   DSS  LC", coresim::Camp::kLean, &dss_sat, true},
+  };
+
+  for (const Cell& c : cells) {
+    harness::ExperimentConfig ec;
+    ec.camp = c.camp;
+    ec.cores = 4;
+    ec.l2_bytes = 26ull << 20;
+    ec.saturated = c.saturated;
+    coresim::SimResult r = harness::RunExperiment(ec, *c.traces);
+    table.AddRow(BreakdownRow(c.label, r));
+  }
+
+  benchutil::PrintResultHeader(
+      "Figure 5: execution time breakdown (4-core CMP, 26MB shared L2)");
+  table.Print();
+  std::printf("\nPaper targets: FC d-stalls 46-64%%; sat-LC d-stalls <=13%%, "
+              "computation 76-80%%.\n");
+  return 0;
+}

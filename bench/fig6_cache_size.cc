@@ -1,0 +1,98 @@
+// Figure 6: impact of L2 cache size and latency on a 4-core FC CMP.
+//  (a) normalized throughput vs L2 size, fixed 4-cycle vs Cacti latency
+//  (b) CPI contributions (L2-hit stalls / all D-stalls / total) for OLTP
+//  (c) same for DSS
+//
+// Shape targets: fixed-latency curves keep rising (diminishing returns);
+// realistic-latency curves diverge early and flatten or dip — up to ~2x
+// foregone speedup; L2-hit stall time grows ~12x from 1MB to 26MB with
+// most of the growth due to latency, not hit volume.
+#include "bench/bench_util.h"
+
+using namespace stagedcmp;
+
+int main() {
+  harness::WorkloadFactory factory;
+  harness::TraceSet oltp = benchutil::BuildOltpSaturated(&factory);
+  harness::TraceSet dss = benchutil::BuildDssSaturated(&factory);
+
+  const uint64_t sizes_mb[] = {1, 2, 4, 8, 16, 26};
+
+  struct Series {
+    const char* name;
+    const harness::TraceSet* traces;
+    harness::LatencyMode mode;
+  };
+  const Series series[] = {
+      {"OLTP-const", &oltp, harness::LatencyMode::kFixed4},
+      {"OLTP-real", &oltp, harness::LatencyMode::kRealistic},
+      {"DSS-const", &dss, harness::LatencyMode::kFixed4},
+      {"DSS-real", &dss, harness::LatencyMode::kRealistic},
+  };
+
+  benchutil::PrintResultHeader(
+      "Figure 6(a): throughput vs L2 size (normalized to 1MB-real)");
+  TablePrinter ta({"series", "1MB", "2MB", "4MB", "8MB", "16MB", "26MB"});
+
+  // Keep per-workload CPI rows for 6(b)/6(c) from the realistic runs.
+  std::vector<std::vector<std::string>> cpi_oltp, cpi_dss;
+  double uipc[4][6] = {};
+
+  for (int si = 0; si < 4; ++si) {
+    const Series& s = series[si];
+    for (int mi = 0; mi < 6; ++mi) {
+      const uint64_t mb = sizes_mb[mi];
+      harness::ExperimentConfig ec;
+      ec.camp = coresim::Camp::kFat;
+      ec.cores = 4;
+      ec.l2_bytes = mb << 20;
+      ec.latency = s.mode;
+      ec.saturated = true;
+      harness::ResolvedHardware hw;
+      coresim::SimResult r = harness::RunExperiment(ec, *s.traces, &hw);
+      uipc[si][mi] = r.uipc();
+
+      if (s.mode == harness::LatencyMode::kRealistic) {
+        auto& rows = s.traces == &oltp ? cpi_oltp : cpi_dss;
+        rows.push_back(
+            {std::to_string(mb) + "MB (lat " +
+                 std::to_string(hw.l2_hit_cycles) + "cy)",
+             TablePrinter::Num(
+                 r.CpiComponent(coresim::Bucket::kDStallL2), 3),
+             TablePrinter::Num(r.CpiComponent(coresim::Bucket::kDStallL2) +
+                                   r.CpiComponent(coresim::Bucket::kDStallMem) +
+                                   r.CpiComponent(coresim::Bucket::kDStallCoh) +
+                                   r.CpiComponent(coresim::Bucket::kDStallL1),
+                               3),
+             TablePrinter::Num(r.cpi(), 3)});
+      }
+    }
+  }
+  // Normalize each workload's curves to its own 1MB realistic-latency run
+  // (series order: const = row 0/2, real = row 1/3).
+  for (int si = 0; si < 4; ++si) {
+    const double norm = uipc[si < 2 ? 1 : 3][0];
+    std::vector<std::string> row{series[si].name};
+    for (int mi = 0; mi < 6; ++mi) {
+      row.push_back(TablePrinter::Num(uipc[si][mi] / norm, 2));
+    }
+    ta.AddRow(std::move(row));
+  }
+  ta.Print();
+  std::printf("\nreal-latency penalty at 26MB: OLTP %.2fx, DSS %.2fx "
+              "(paper: up to 2.2x / 2x)\n",
+              uipc[0][5] / uipc[1][5], uipc[2][5] / uipc[3][5]);
+
+  benchutil::PrintResultHeader(
+      "Figure 6(b): CPI contributions vs L2 size — OLTP (realistic latency)");
+  TablePrinter tb({"L2", "L2-hit stalls", "all D-stalls", "total CPI"});
+  for (auto& r : cpi_oltp) tb.AddRow(r);
+  tb.Print();
+
+  benchutil::PrintResultHeader(
+      "Figure 6(c): CPI contributions vs L2 size — DSS (realistic latency)");
+  TablePrinter tc({"L2", "L2-hit stalls", "all D-stalls", "total CPI"});
+  for (auto& r : cpi_dss) tc.AddRow(r);
+  tc.Print();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 8: effect of on-chip core count on throughput — FC CMP with a
+// shared 16MB L2, scaling 4 -> 16 cores under saturated load.
+//
+// Shape targets: DSS slightly superlinear around 8 cores (constructive
+// sharing raises L2 hit rates), then both sublinear; OLTP reaches only
+// ~74% of linear at 16 cores — not because of extra misses (the miss rate
+// *drops* with sharing) but because bursts of correlated misses queue on
+// finite L2 ports.
+#include "bench/bench_util.h"
+
+using namespace stagedcmp;
+
+int main() {
+  harness::WorkloadFactory factory;
+
+  benchutil::PrintResultHeader(
+      "Figure 8: throughput vs core count (FC CMP, shared 16MB L2)");
+  TablePrinter table({"workload", "cores", "UIPC", "speedup vs 4",
+                      "% of linear", "L2 hit rate", "avg queue delay"});
+
+  for (auto& [name, kind] :
+       std::vector<std::pair<std::string, harness::WorkloadKind>>{
+           {"OLTP", harness::WorkloadKind::kOltp},
+           {"DSS", harness::WorkloadKind::kDss}}) {
+    double base = 0.0;
+    for (uint32_t cores : {4u, 8u, 12u, 16u}) {
+      // Offered load scales with the machine (the paper's saturated
+      // condition: idle contexts always find a thread), keeping the
+      // per-context multiprogramming level constant across points.
+      harness::TraceSet traces =
+          kind == harness::WorkloadKind::kOltp
+              ? benchutil::BuildOltpSaturated(&factory, 3 * cores)
+              : benchutil::BuildDssSaturated(&factory, 3 * cores);
+      harness::ExperimentConfig ec;
+      ec.camp = coresim::Camp::kFat;
+      ec.cores = cores;
+      ec.l2_bytes = 16ull << 20;
+      ec.saturated = true;
+      ec.measure_instructions = 12'000'000ull * cores / 4;
+      coresim::SimResult r = harness::RunExperiment(ec, traces);
+      if (cores == 4) base = r.uipc();
+      const double speedup = r.uipc() / base;
+      const double linear = static_cast<double>(cores) / 4.0;
+      table.AddRow({name, std::to_string(cores),
+                    TablePrinter::Num(r.uipc(), 2),
+                    TablePrinter::Num(speedup, 2),
+                    TablePrinter::Pct(speedup / linear),
+                    TablePrinter::Pct(r.l2_hit_rate),
+                    TablePrinter::Num(r.mem.queue_delay.mean(), 1)});
+    }
+  }
+  table.Print();
+  std::printf("\npaper: DSS ~+9%% superlinear at 8 cores; OLTP ~74%% of "
+              "linear at 16 cores, caused by port queueing, not misses.\n");
+  return 0;
+}

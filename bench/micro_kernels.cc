@@ -1,0 +1,108 @@
+// google-benchmark microbenches for the engine's native kernels: B+-tree,
+// cache simulator, hash join, TPC-C transactions, tracer overhead.
+// These measure the *native* cost of the reproduction's substrates (how
+// fast the simulator itself runs), not simulated cycles.
+#include <benchmark/benchmark.h>
+
+#include "common/arena.h"
+#include "common/rng.h"
+#include "db/bptree.h"
+#include "db/exec.h"
+#include "memsim/cache.h"
+#include "memsim/hierarchy.h"
+#include "trace/tracer.h"
+#include "workload/tpcc.h"
+#include "workload/tpch.h"
+
+using namespace stagedcmp;
+
+static void BM_CacheAccess(benchmark::State& state) {
+  memsim::Cache cache(
+      memsim::CacheConfig{static_cast<uint64_t>(state.range(0)), 8, 64});
+  Rng rng(1);
+  for (auto _ : state) {
+    const uint64_t line = rng.Next() % 100000;
+    if (!cache.Access(line, false)) cache.Fill(line, false);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(64 << 10)->Arg(1 << 20)->Arg(16 << 20);
+
+static void BM_BtreeLookup(benchmark::State& state) {
+  Arena arena;
+  db::BPlusTree tree(&arena);
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (uint64_t i = 0; i < n; ++i) tree.Insert(i * 7 % n, i, nullptr);
+  Rng rng(2);
+  uint64_t v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(rng.Next() % n, &v, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtreeLookup)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_BtreeInsert(benchmark::State& state) {
+  Arena arena;
+  db::BPlusTree tree(&arena);
+  Rng rng(3);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    tree.Insert(rng.Next(), ++i, nullptr);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtreeInsert);
+
+static void BM_TracerMemEvent(benchmark::State& state) {
+  trace::Tracer tracer;
+  char buf[256];
+  for (auto _ : state) {
+    tracer.Read(buf, 64, 4);
+    if (tracer.trace().events.size() > (1u << 20)) {
+      state.PauseTiming();
+      tracer.Reset();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerMemEvent);
+
+static void BM_TpccNewOrderNative(benchmark::State& state) {
+  workload::Database db;
+  workload::TpccConfig cfg;
+  cfg.warehouses = 2;
+  cfg.customers_per_district = 120;
+  cfg.items = 1000;
+  cfg.initial_orders_per_district = 30;
+  workload::TpccLoad(&db, cfg);
+  workload::TpccDriver driver(&db, cfg, 1, 5);
+  trace::Tracer tracer;
+  for (auto _ : state) {
+    driver.Run(workload::TpccTxnType::kNewOrder, &tracer);
+    if (tracer.trace().events.size() > (1u << 20)) {
+      state.PauseTiming();
+      tracer.Reset();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TpccNewOrderNative);
+
+static void BM_CmpHierarchyAccess(benchmark::State& state) {
+  memsim::HierarchyConfig hc;
+  hc.num_cores = 4;
+  auto h = memsim::MakeCmpHierarchy(hc);
+  Rng rng(7);
+  uint64_t now = 0;
+  for (auto _ : state) {
+    h->AccessData(static_cast<uint32_t>(rng.Next() % 4),
+                  (rng.Next() % (1 << 26)), (rng.Next() & 7) == 0, ++now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CmpHierarchyAccess);
+
+BENCHMARK_MAIN();

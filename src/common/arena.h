@@ -1,0 +1,78 @@
+// Arena allocator with stable addresses.
+//
+// The buffer pool and all engine data structures that workloads touch are
+// allocated from one Arena per Database instance, so that (a) addresses are
+// stable for the lifetime of a run, (b) logically-shared structures produce
+// physically-shared cache lines in the trace, and (c) the address space is
+// compact, which keeps simulated cache indexing realistic.
+#ifndef STAGEDCMP_COMMON_ARENA_H_
+#define STAGEDCMP_COMMON_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace stagedcmp {
+
+/// Bump-pointer arena. Blocks are never freed until the arena dies, so
+/// every pointer handed out stays valid and unique for the arena lifetime.
+class Arena {
+ public:
+  explicit Arena(size_t block_size = 1 << 20) : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `bytes` with the given alignment (power of two).
+  void* Allocate(size_t bytes, size_t align = 8) {
+    assert((align & (align - 1)) == 0);
+    uintptr_t p = reinterpret_cast<uintptr_t>(ptr_);
+    uintptr_t aligned = (p + align - 1) & ~(align - 1);
+    size_t pad = aligned - p;
+    if (pad + bytes > remaining_) {
+      NewBlock(bytes + align);
+      p = reinterpret_cast<uintptr_t>(ptr_);
+      aligned = (p + align - 1) & ~(align - 1);
+      pad = aligned - p;
+    }
+    ptr_ += pad + bytes;
+    remaining_ -= pad + bytes;
+    allocated_ += bytes;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Typed allocation of `n` default-constructible objects.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    T* p = static_cast<T*>(Allocate(sizeof(T) * n, alignof(T)));
+    for (size_t i = 0; i < n; ++i) new (p + i) T();
+    return p;
+  }
+
+  /// Total bytes handed out (excludes padding and block slack).
+  size_t allocated_bytes() const { return allocated_; }
+  /// Total bytes reserved from the system.
+  size_t reserved_bytes() const { return reserved_; }
+
+ private:
+  void NewBlock(size_t min_bytes) {
+    size_t sz = min_bytes > block_size_ ? min_bytes : block_size_;
+    blocks_.push_back(std::make_unique<char[]>(sz));
+    ptr_ = blocks_.back().get();
+    remaining_ = sz;
+    reserved_ += sz;
+  }
+
+  size_t block_size_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* ptr_ = nullptr;
+  size_t remaining_ = 0;
+  size_t allocated_ = 0;
+  size_t reserved_ = 0;
+};
+
+}  // namespace stagedcmp
+
+#endif  // STAGEDCMP_COMMON_ARENA_H_

@@ -1,0 +1,64 @@
+// Execution-time breakdown accounting: every simulated cycle is attributed
+// to exactly one bucket, mirroring the paper's Figures 3, 5, 6 and 7
+// (Computation / I-stalls / D-stalls / Other, with D-stalls decomposed into
+// L2-hit, off-chip, and coherence subcomponents).
+#ifndef STAGEDCMP_CORESIM_BREAKDOWN_H_
+#define STAGEDCMP_CORESIM_BREAKDOWN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace stagedcmp::coresim {
+
+enum class Bucket : uint8_t {
+  kComputation = 0,
+  kIStallL2,       ///< instruction stall serviced by on-chip L2
+  kIStallMem,      ///< instruction stall serviced off-chip
+  kDStallL1,       ///< exposed L1D hit latency (in-order load-to-use)
+  kDStallL2,       ///< data stall on an L2 *hit* — the paper's rising star
+  kDStallMem,      ///< data stall on off-chip access
+  kDStallCoh,      ///< data stall on coherence transfer (SMP)
+  kOther,          ///< queueing on shared resources, idle contexts
+  kCount,
+};
+
+const char* BucketName(Bucket b);
+
+/// Per-run cycle accounting. Cycles are doubles because the lean-camp model
+/// splits quanta proportionally between contexts.
+struct CycleBreakdown {
+  std::array<double, static_cast<size_t>(Bucket::kCount)> cycles{};
+
+  void Add(Bucket b, double c) { cycles[static_cast<size_t>(b)] += c; }
+  double Get(Bucket b) const { return cycles[static_cast<size_t>(b)]; }
+
+  double total() const {
+    double t = 0;
+    for (double c : cycles) t += c;
+    return t;
+  }
+  double computation() const { return Get(Bucket::kComputation); }
+  double i_stalls() const {
+    return Get(Bucket::kIStallL2) + Get(Bucket::kIStallMem);
+  }
+  double d_stalls() const {
+    return Get(Bucket::kDStallL1) + Get(Bucket::kDStallL2) +
+           Get(Bucket::kDStallMem) + Get(Bucket::kDStallCoh);
+  }
+  double other() const { return Get(Bucket::kOther); }
+
+  double Fraction(Bucket b) const {
+    const double t = total();
+    return t > 0 ? Get(b) / t : 0.0;
+  }
+
+  CycleBreakdown& operator+=(const CycleBreakdown& o) {
+    for (size_t i = 0; i < cycles.size(); ++i) cycles[i] += o.cycles[i];
+    return *this;
+  }
+};
+
+}  // namespace stagedcmp::coresim
+
+#endif  // STAGEDCMP_CORESIM_BREAKDOWN_H_

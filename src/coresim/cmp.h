@@ -1,0 +1,177 @@
+// Chip-multiprocessor discrete-event timing simulator.
+//
+// Replays per-client instruction/memory traces on a configurable CMP:
+//   * Fat camp (FC): wide out-of-order cores, one context each. Misses are
+//     partially hidden (pipeline/ROB overlap); independent clustered misses
+//     additionally overlap with MLP; dependent (pointer-chase) misses are
+//     fully exposed beyond the pipeline-hide window.
+//   * Lean camp (LC): narrow in-order cores with several hardware contexts
+//     issued round-robin; a context blocks on any miss and the core runs
+//     the remaining runnable contexts. Core cycles with no runnable context
+//     are the camp's exposed stalls.
+//
+// Every elapsed core cycle is attributed to exactly one breakdown bucket,
+// which is how the paper's execution-time breakdown figures are built.
+#ifndef STAGEDCMP_CORESIM_CMP_H_
+#define STAGEDCMP_CORESIM_CMP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "coresim/breakdown.h"
+#include "memsim/hierarchy.h"
+#include "trace/events.h"
+
+namespace stagedcmp::coresim {
+
+enum class Camp : uint8_t { kFat, kLean };
+
+const char* CampName(Camp c);
+
+/// Core microarchitecture parameters (Table 1 of the paper).
+struct CoreParams {
+  Camp camp = Camp::kFat;
+  uint32_t issue_width = 4;     ///< FC: wide (4+); LC: narrow (2)
+  uint32_t contexts = 1;        ///< FC: 1; LC: 4+
+  double compute_ipc = 1.6;     ///< ILP-limited per-context computation IPC
+  uint32_t pipeline_hide = 10;  ///< cycles of miss latency hidden by OoO/
+                                ///< pipelining per isolated miss
+  uint32_t dep_hide = 4;        ///< hide for *dependent* misses: a load at
+                                ///< the head of a pointer chase has little
+                                ///< independent work behind it
+  double mt_efficiency = 1.0;   ///< issue-rate factor when several contexts
+                                ///< share the pipe (thread-switch bubbles,
+                                ///< LC camp < 1)
+  uint32_t ifetch_hide = 4;     ///< fetch-queue slack hiding I-miss latency
+  uint32_t rob_window = 256;    ///< instr distance within which independent
+                                ///< misses overlap (FC)
+  double mlp = 4.0;             ///< overlap factor for clustered independent
+                                ///< misses (FC memory-level parallelism)
+  double branch_mpki = 6.0;     ///< mispredictions per kilo-instruction
+  uint32_t branch_penalty = 14; ///< pipeline refill cycles (deep FC pipe)
+  uint32_t instr_bytes = 4;     ///< fixed-width ISA (UltraSPARC-like)
+
+  /// Canonical fat-camp core (4-wide OoO, deep pipe, 1 context).
+  static CoreParams Fat();
+  /// Canonical lean-camp core (2-wide in-order, shallow pipe, 4 contexts).
+  static CoreParams Lean();
+};
+
+struct SimConfig {
+  CoreParams core;
+  uint32_t num_cores = 4;
+  /// Stop after this many aggregate committed instructions (0 = run until
+  /// all non-looping traces complete).
+  uint64_t max_instructions = 0;
+  /// Loop client traces to reach steady state (saturated runs).
+  bool loop_traces = false;
+  /// Instructions executed before counters reset (cache warmup).
+  uint64_t warmup_instructions = 0;
+};
+
+struct SimResult {
+  uint64_t instructions = 0;
+  uint64_t elapsed_cycles = 0;   ///< wall-clock of the chip (max core time)
+  CycleBreakdown breakdown;      ///< summed over cores
+  uint64_t requests_completed = 0;
+  double avg_response_cycles = 0.0;
+  double l1d_hit_rate = 0.0;
+  double l1i_hit_rate = 0.0;
+  double l2_hit_rate = 0.0;
+  memsim::HierarchyStats mem;    ///< access-class counters snapshot
+
+  /// Aggregate user-IPC: committed instructions / elapsed cycles — the
+  /// paper's throughput metric (proportional to system throughput).
+  double uipc() const {
+    return elapsed_cycles
+               ? static_cast<double>(instructions) /
+                     static_cast<double>(elapsed_cycles)
+               : 0.0;
+  }
+  /// Per-instruction cycles based on *attributed* core cycles, the basis
+  /// of the paper's CPI breakdown figures.
+  double cpi() const {
+    return instructions ? breakdown.total() / static_cast<double>(instructions)
+                        : 0.0;
+  }
+  double CpiComponent(Bucket b) const {
+    return instructions
+               ? breakdown.Get(b) / static_cast<double>(instructions)
+               : 0.0;
+  }
+};
+
+/// Runs a set of client traces on a CMP over the given hierarchy.
+/// Clients are assigned to hardware contexts round-robin; a context with
+/// several clients alternates between them (multiprogramming).
+class CmpSimulator {
+ public:
+  CmpSimulator(const SimConfig& config, memsim::MemoryHierarchy* hierarchy,
+               std::vector<const trace::ClientTrace*> clients);
+
+  /// Simulates and returns aggregate metrics. Call once.
+  SimResult Run();
+
+ private:
+  struct Context {
+    std::vector<uint32_t> client_ids;   // round-robin multiprogramming
+    size_t cur_client = 0;
+    size_t pos = 0;                     // event index in current client
+    bool finished = false;              // all clients drained (non-loop)
+
+    // In-flight state.
+    double compute_remaining = 0.0;     // instructions left in current run
+    uint64_t pending_event = 0;         // mem event to issue after compute
+    bool has_pending_mem = false;
+    double blocked_until = 0.0;
+    bool blocked = false;
+    Bucket block_bucket = Bucket::kOther;
+    uint64_t pc = 0;
+    uint64_t next_ifetch_line = 0;      // next code line boundary to fetch
+    double instr_since_miss = 1e18;     // FC miss clustering distance
+    double request_start = 0.0;
+    double committed = 0.0;
+  };
+
+  struct Core {
+    double now = 0.0;
+    std::vector<Context> ctx;
+    size_t rr = 0;       // round-robin pointer
+    bool active = false; // has at least one client
+    CycleBreakdown bd;
+    double committed = 0.0;
+  };
+
+  // Advances one core by one scheduling step; returns false if the core
+  // has no further work.
+  bool StepCore(Core& core, uint32_t core_id);
+
+  // Refills ctx with its next event(s); returns false when out of events.
+  bool AdvanceContext(Core& core, uint32_t core_id, Context& ctx);
+
+  // Issues the context's pending memory access at core.now.
+  void IssueMem(Core& core, uint32_t core_id, Context& ctx);
+
+  // Performs I-fetches implied by advancing `instrs` from ctx.pc.
+  // Returns stall cycles charged (FC) or sets blocked state (LC).
+  double FetchInstructions(Core& core, uint32_t core_id, Context& ctx,
+                           double instrs);
+
+  Bucket BucketFor(memsim::AccessClass cls, bool instr) const;
+
+  SimConfig config_;
+  memsim::MemoryHierarchy* hierarchy_;
+  std::vector<const trace::ClientTrace*> clients_;
+  std::vector<Core> cores_;
+  double total_committed_ = 0.0;
+  double response_sum_ = 0.0;
+  uint64_t responses_ = 0;
+  bool measuring_ = true;
+};
+
+}  // namespace stagedcmp::coresim
+
+#endif  // STAGEDCMP_CORESIM_CMP_H_

@@ -1,0 +1,287 @@
+// Tuple-at-a-time (Volcano) relational operators: the "conventional DBMS"
+// execution model the paper characterizes. Every Next() call hops between
+// operator code regions, producing the large interleaved instruction
+// footprint typical of commercial engines; the staged engine (db/staged.h)
+// removes exactly that behaviour.
+#ifndef STAGEDCMP_DB_EXEC_H_
+#define STAGEDCMP_DB_EXEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/rng.h"
+#include "db/schema.h"
+#include "db/storage.h"
+#include "trace/cost_model.h"
+#include "trace/tracer.h"
+
+namespace stagedcmp::db {
+
+/// Per-query execution context: tracer + scratch arena for hash tables,
+/// sort buffers and materialized intermediates.
+struct ExecContext {
+  trace::Tracer* tracer = nullptr;
+  Arena* temp = nullptr;
+};
+
+/// Simple comparison predicate against a column; conjunctions are vectors
+/// of these. Kept struct-shaped (no std::function) so evaluation cost is
+/// explicit and traceable.
+struct Predicate {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kBetween };
+  int column = 0;
+  Op op = Op::kEq;
+  int64_t ival = 0;
+  int64_t ival2 = 0;  // kBetween upper bound
+  double dval = 0.0;
+  double dval2 = 0.0;
+  bool is_double = false;
+
+  bool Eval(const Schema& schema, const uint8_t* tuple) const;
+};
+
+/// Base Volcano operator.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual void Open(ExecContext* ctx) = 0;
+  /// Returns the next tuple (valid until the following call) or nullptr.
+  virtual const uint8_t* Next(ExecContext* ctx) = 0;
+  virtual void Close(ExecContext* ctx) = 0;
+  virtual const Schema& output_schema() const = 0;
+};
+
+/// Full scan over a heap file with optional conjunctive predicates.
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(HeapFile* file, std::vector<Predicate> preds);
+  void Open(ExecContext* ctx) override;
+  const uint8_t* Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+  const Schema& output_schema() const override { return *file_->schema(); }
+
+ private:
+  HeapFile* file_;
+  std::vector<Predicate> preds_;
+  size_t page_idx_ = 0;
+  uint32_t slot_ = 0;
+  Page* cur_page_ = nullptr;
+  trace::CodeRegion region_;
+};
+
+class BPlusTree;
+
+/// Index range scan: keys in [lo, hi] resolved through `file`.
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(const BPlusTree* index, HeapFile* file, uint64_t lo,
+              uint64_t hi);
+  void Open(ExecContext* ctx) override;
+  const uint8_t* Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+  const Schema& output_schema() const override { return *file_->schema(); }
+
+ private:
+  const BPlusTree* index_;
+  HeapFile* file_;
+  uint64_t lo_, hi_;
+  std::vector<uint64_t> rids_;  // materialized matches
+  size_t pos_ = 0;
+  trace::CodeRegion region_;
+};
+
+/// Filter over child output.
+class FilterOp : public Operator {
+ public:
+  FilterOp(std::unique_ptr<Operator> child, std::vector<Predicate> preds);
+  void Open(ExecContext* ctx) override;
+  const uint8_t* Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<Predicate> preds_;
+  trace::CodeRegion region_;
+};
+
+/// Projection to a subset of columns (by index).
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::unique_ptr<Operator> child, std::vector<int> columns);
+  void Open(ExecContext* ctx) override;
+  const uint8_t* Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<int> columns_;
+  Schema schema_;
+  std::vector<uint8_t> buffer_;
+  trace::CodeRegion region_;
+};
+
+/// In-memory hash join (equi-join on single int64 columns).
+/// Build side is fully materialized into the scratch arena.
+class HashJoinOp : public Operator {
+ public:
+  enum class Type { kInner, kLeftOuter };
+  HashJoinOp(std::unique_ptr<Operator> build, std::unique_ptr<Operator> probe,
+             int build_key, int probe_key, Type type = Type::kInner);
+  void Open(ExecContext* ctx) override;
+  const uint8_t* Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+  const Schema& output_schema() const override { return schema_; }
+
+  size_t build_rows() const { return build_rows_.size(); }
+
+ private:
+  struct BuildRow {
+    const uint8_t* data;
+    int32_t next;  // chain
+  };
+
+  void BuildTable(ExecContext* ctx);
+  const uint8_t* Emit(ExecContext* ctx, const uint8_t* probe,
+                      const uint8_t* build);
+
+  std::unique_ptr<Operator> build_;
+  std::unique_ptr<Operator> probe_;
+  int build_key_, probe_key_;
+  Type type_;
+  Schema schema_;
+  std::vector<int32_t> buckets_;
+  std::vector<BuildRow> build_rows_;
+  const uint8_t* cur_probe_ = nullptr;
+  int32_t chain_ = -1;
+  bool probe_matched_ = false;
+  std::vector<uint8_t> out_buf_;
+  std::vector<uint8_t> null_build_;
+  trace::CodeRegion build_region_;
+  trace::CodeRegion probe_region_;
+};
+
+/// Aggregate function kinds.
+enum class AggFn { kCount, kSum, kMin, kMax, kAvg };
+
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  int column = -1;     ///< input column (-1 for COUNT(*))
+  bool is_double = false;
+  std::string name = "agg";
+};
+
+/// Hash group-by aggregation. Output columns: group keys then aggregates.
+class HashAggOp : public Operator {
+ public:
+  HashAggOp(std::unique_ptr<Operator> child, std::vector<int> group_cols,
+            std::vector<AggSpec> aggs);
+  void Open(ExecContext* ctx) override;
+  const uint8_t* Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+  const Schema& output_schema() const override { return schema_; }
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  struct GroupState {
+    std::vector<int64_t> ikeys;
+    std::vector<double> acc;
+    std::vector<int64_t> cnt;
+  };
+
+  std::unique_ptr<Operator> child_;
+  std::vector<int> group_cols_;
+  std::vector<AggSpec> aggs_;
+  Schema schema_;
+  std::unordered_map<uint64_t, GroupState> groups_;
+  std::vector<const GroupState*> ordered_;
+  size_t emit_pos_ = 0;
+  std::vector<uint8_t> out_buf_;
+  trace::CodeRegion region_;
+};
+
+/// Nested-loop join on an int64 equality (materializes the inner side).
+/// Kept for plan completeness and as the hash join's correctness oracle;
+/// its quadratic probe pattern is also a useful cache-stress workload.
+class NlJoinOp : public Operator {
+ public:
+  NlJoinOp(std::unique_ptr<Operator> outer, std::unique_ptr<Operator> inner,
+           int outer_key, int inner_key);
+  void Open(ExecContext* ctx) override;
+  const uint8_t* Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<Operator> inner_;
+  int outer_key_, inner_key_;
+  Schema schema_;
+  std::vector<const uint8_t*> inner_rows_;
+  const uint8_t* cur_outer_ = nullptr;
+  size_t inner_pos_ = 0;
+  std::vector<uint8_t> out_buf_;
+  trace::CodeRegion region_;
+};
+
+/// Full sort on an int64 column (materializing).
+class SortOp : public Operator {
+ public:
+  SortOp(std::unique_ptr<Operator> child, int key_col, bool ascending = true);
+  void Open(ExecContext* ctx) override;
+  const uint8_t* Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  int key_col_;
+  bool ascending_;
+  std::vector<std::vector<uint8_t>> rows_;
+  size_t pos_ = 0;
+  trace::CodeRegion region_;
+};
+
+/// Limit.
+class LimitOp : public Operator {
+ public:
+  LimitOp(std::unique_ptr<Operator> child, uint64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+  void Open(ExecContext* ctx) override {
+    child_->Open(ctx);
+    seen_ = 0;
+  }
+  const uint8_t* Next(ExecContext* ctx) override {
+    if (seen_ >= limit_) return nullptr;
+    const uint8_t* t = child_->Next(ctx);
+    if (t != nullptr) ++seen_;
+    return t;
+  }
+  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  uint64_t limit_;
+  uint64_t seen_ = 0;
+};
+
+/// Drains an operator tree, returning the row count (query driver).
+uint64_t DrainOperator(Operator* op, ExecContext* ctx);
+
+}  // namespace stagedcmp::db
+
+#endif  // STAGEDCMP_DB_EXEC_H_

@@ -1,0 +1,107 @@
+// Experiment harness: builds workload trace sets once, then replays them on
+// arbitrary CMP/SMP configurations. One RunExperiment call corresponds to
+// one bar/point of a paper figure.
+#ifndef STAGEDCMP_HARNESS_EXPERIMENT_H_
+#define STAGEDCMP_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coresim/cmp.h"
+#include "memsim/hierarchy.h"
+#include "trace/events.h"
+#include "workload/database.h"
+#include "workload/tpcc.h"
+#include "workload/tpch.h"
+
+namespace stagedcmp::harness {
+
+enum class WorkloadKind : uint8_t { kOltp, kDss };
+enum class LatencyMode : uint8_t { kRealistic, kFixed4 };
+enum class Topology : uint8_t { kCmpShared, kSmpPrivate };
+
+const char* WorkloadName(WorkloadKind w);
+
+/// Engine execution model used when generating DSS traces.
+enum class EngineMode : uint8_t { kVolcano, kStagedCohort, kStagedTuple };
+
+struct TraceSetConfig {
+  WorkloadKind workload = WorkloadKind::kOltp;
+  uint32_t clients = 16;
+  uint32_t requests_per_client = 4;  ///< txns (OLTP) or queries (DSS)
+  uint64_t seed = 1;
+  EngineMode engine = EngineMode::kVolcano;
+};
+
+/// A set of per-client traces plus the database they were recorded against.
+struct TraceSet {
+  TraceSetConfig config;
+  std::vector<trace::ClientTrace> traces;
+  uint64_t total_instructions = 0;
+  uint64_t total_events = 0;
+
+  std::vector<const trace::ClientTrace*> Pointers() const {
+    std::vector<const trace::ClientTrace*> out;
+    out.reserve(traces.size());
+    for (const auto& t : traces) out.push_back(&t);
+    return out;
+  }
+};
+
+/// Builds (and owns) workload databases, generating trace sets on demand.
+/// Databases are built once and reused across trace sets; traces are
+/// deterministic in (workload, seed, client id).
+class WorkloadFactory {
+ public:
+  WorkloadFactory() = default;
+
+  /// Overridable scale knobs (defaults match DESIGN.md geometry).
+  workload::TpccConfig tpcc_config;
+  workload::TpchConfig tpch_config;
+
+  TraceSet Build(const TraceSetConfig& config);
+
+  workload::Database* oltp_db();
+  workload::Database* dss_db();
+
+ private:
+  std::unique_ptr<workload::Database> oltp_db_;
+  std::unique_ptr<workload::Database> dss_db_;
+};
+
+struct ExperimentConfig {
+  coresim::Camp camp = coresim::Camp::kFat;
+  uint32_t cores = 4;
+  uint64_t l2_bytes = 26ull << 20;
+  LatencyMode latency = LatencyMode::kRealistic;
+  Topology topology = Topology::kCmpShared;
+  bool saturated = true;          ///< loop traces to steady state
+  uint64_t measure_instructions = 12'000'000;
+  uint64_t warmup_instructions = 3'000'000;
+  bool stream_buffers = true;
+  uint32_t l2_ports = 0;          ///< 0 = auto (scale with banks)
+  uint32_t memory_latency = 400;
+  uint32_t fixed_l2_latency = 4;  ///< used when latency == kFixed4
+};
+
+/// Resolved hardware view (for reporting).
+struct ResolvedHardware {
+  uint32_t l2_hit_cycles = 0;
+  uint32_t cores = 0;
+  uint32_t contexts_per_core = 0;
+};
+
+/// Runs one configuration over a trace set.
+coresim::SimResult RunExperiment(const ExperimentConfig& config,
+                                 const TraceSet& traces,
+                                 ResolvedHardware* hw = nullptr);
+
+/// Builds the hierarchy+core configs without running (tests/inspection).
+memsim::HierarchyConfig MakeHierarchyConfig(const ExperimentConfig& config);
+coresim::CoreParams MakeCoreParams(coresim::Camp camp);
+
+}  // namespace stagedcmp::harness
+
+#endif  // STAGEDCMP_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,149 @@
+#include "memsim/cache.h"
+
+namespace stagedcmp::memsim {
+
+namespace {
+bool IsPow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+uint32_t Log2(uint64_t x) {
+  uint32_t n = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+Status Cache::Validate(const CacheConfig& c) {
+  if (!IsPow2(c.line_bytes) || c.line_bytes < 8) {
+    return Status::InvalidArgument("line_bytes must be pow2 >= 8");
+  }
+  if (c.associativity == 0) {
+    return Status::InvalidArgument("associativity must be > 0");
+  }
+  const uint64_t way_bytes =
+      static_cast<uint64_t>(c.associativity) * c.line_bytes;
+  if (c.size_bytes < way_bytes || c.size_bytes % way_bytes != 0) {
+    return Status::InvalidArgument("size not a multiple of assoc*line");
+  }
+  if (!IsPow2(c.num_sets())) {
+    return Status::InvalidArgument("number of sets must be pow2");
+  }
+  return Status::Ok();
+}
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  Status s = Validate(config);
+  assert(s.ok());
+  (void)s;
+  num_sets_ = config.num_sets();
+  set_shift_ = Log2(num_sets_);
+  ways_.resize(num_sets_ * config.associativity);
+}
+
+Cache::Way* Cache::FindWay(uint64_t line_addr) {
+  const size_t set = SetIndex(line_addr);
+  const uint64_t tag = Tag(line_addr);
+  Way* base = &ways_[set * config_.associativity];
+  for (uint32_t i = 0; i < config_.associativity; ++i) {
+    if (base[i].state != LineState::kInvalid && base[i].tag == tag) {
+      return &base[i];
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Way* Cache::FindWay(uint64_t line_addr) const {
+  return const_cast<Cache*>(this)->FindWay(line_addr);
+}
+
+bool Cache::Access(uint64_t line_addr, bool is_write) {
+  Way* w = FindWay(line_addr);
+  if (w == nullptr) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  w->lru = ++lru_clock_;
+  if (is_write) w->state = LineState::kModified;
+  return true;
+}
+
+bool Cache::Contains(uint64_t line_addr) const {
+  return FindWay(line_addr) != nullptr;
+}
+
+LineState Cache::GetState(uint64_t line_addr) const {
+  const Way* w = FindWay(line_addr);
+  return w ? w->state : LineState::kInvalid;
+}
+
+void Cache::SetState(uint64_t line_addr, LineState s) {
+  Way* w = FindWay(line_addr);
+  if (w != nullptr) w->state = s;
+}
+
+EvictedLine Cache::Fill(uint64_t line_addr, bool is_write, LineState state) {
+  EvictedLine out;
+  // A line may already be resident when Fill() concludes a coherence
+  // upgrade (Shared -> Modified); update it in place — allocating a second
+  // way for the same tag would leave a stale duplicate that a later
+  // invalidation misses.
+  if (Way* existing = FindWay(line_addr)) {
+    existing->lru = ++lru_clock_;
+    existing->state = is_write ? LineState::kModified : state;
+    return out;
+  }
+  const size_t set = SetIndex(line_addr);
+  Way* base = &ways_[set * config_.associativity];
+  Way* victim = nullptr;
+  for (uint32_t i = 0; i < config_.associativity; ++i) {
+    if (base[i].state == LineState::kInvalid) {
+      victim = &base[i];
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    victim = &base[0];
+    for (uint32_t i = 1; i < config_.associativity; ++i) {
+      if (base[i].lru < victim->lru) victim = &base[i];
+    }
+    out.valid = true;
+    out.dirty = victim->state == LineState::kModified;
+    out.line_addr = LineAddrFrom(victim->tag, set);
+    ++evictions_;
+    if (out.dirty) ++writebacks_;
+  }
+  victim->tag = Tag(line_addr);
+  victim->lru = ++lru_clock_;
+  victim->state = is_write ? LineState::kModified : state;
+  return out;
+}
+
+bool Cache::Invalidate(uint64_t line_addr, bool* was_present) {
+  Way* w = FindWay(line_addr);
+  if (was_present != nullptr) *was_present = (w != nullptr);
+  if (w == nullptr) return false;
+  const bool dirty = w->state == LineState::kModified;
+  w->state = LineState::kInvalid;
+  if (dirty) ++writebacks_;
+  return dirty;
+}
+
+bool Cache::Downgrade(uint64_t line_addr) {
+  Way* w = FindWay(line_addr);
+  if (w == nullptr) return false;
+  const bool dirty = w->state == LineState::kModified;
+  w->state = LineState::kShared;
+  return dirty;
+}
+
+uint64_t Cache::CountValid() const {
+  uint64_t n = 0;
+  for (const Way& w : ways_) {
+    if (w.state != LineState::kInvalid) ++n;
+  }
+  return n;
+}
+
+}  // namespace stagedcmp::memsim

@@ -1,0 +1,125 @@
+// Set-associative cache with true-LRU replacement and write-back /
+// write-allocate policy. Used for L1I, L1D and L2 arrays in both the CMP
+// (shared L2) and SMP (private L2 + MESI) hierarchies.
+#ifndef STAGEDCMP_MEMSIM_CACHE_H_
+#define STAGEDCMP_MEMSIM_CACHE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stagedcmp::memsim {
+
+/// Line coherence state (MESI). Plain caches only use kInvalid/kExclusive/
+/// kModified; the SMP coherence layer also uses kShared.
+enum class LineState : uint8_t {
+  kInvalid = 0,
+  kShared,
+  kExclusive,
+  kModified,
+};
+
+struct CacheConfig {
+  uint64_t size_bytes = 64 * 1024;
+  uint32_t associativity = 4;
+  uint32_t line_bytes = 64;
+
+  uint64_t num_sets() const {
+    return size_bytes / (static_cast<uint64_t>(associativity) * line_bytes);
+  }
+};
+
+/// Result of a lookup or fill.
+struct EvictedLine {
+  bool valid = false;
+  bool dirty = false;
+  uint64_t line_addr = 0;  ///< line-granular address (byte addr >> line shift)
+};
+
+/// A single cache array. Addresses passed in are *line addresses*
+/// (byte address >> log2(line_bytes)); the caller owns that conversion so
+/// every level uses a consistent granularity.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  static Status Validate(const CacheConfig& config);
+
+  /// Probes for a line. Returns true on hit and refreshes LRU.
+  /// If `is_write` and hit, upgrades the state to Modified.
+  bool Access(uint64_t line_addr, bool is_write);
+
+  /// Probes without disturbing LRU or state (for directories/snoops).
+  bool Contains(uint64_t line_addr) const;
+
+  /// Returns the state of a resident line, or kInvalid.
+  LineState GetState(uint64_t line_addr) const;
+
+  /// Sets the state of a resident line (no-op if absent).
+  void SetState(uint64_t line_addr, LineState s);
+
+  /// Inserts a line (after a miss), evicting the LRU way if needed.
+  /// Returns the evicted line so the caller can update directories and
+  /// issue write-backs.
+  EvictedLine Fill(uint64_t line_addr, bool is_write,
+                   LineState state = LineState::kExclusive);
+
+  /// Invalidates a line if present; returns whether it was dirty.
+  /// Used by the coherence layer.
+  bool Invalidate(uint64_t line_addr, bool* was_present = nullptr);
+
+  /// Downgrades Modified/Exclusive to Shared (coherence read from remote).
+  /// Returns true if the line was dirty (owner must supply data).
+  bool Downgrade(uint64_t line_addr);
+
+  /// Zeroes hit/miss/eviction counters without disturbing contents.
+  /// Used after cache warmup so measurements exclude cold misses.
+  void ResetCounters() { hits_ = misses_ = evictions_ = writebacks_ = 0; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t writebacks() const { return writebacks_; }
+  double hit_rate() const {
+    const uint64_t t = hits_ + misses_;
+    return t ? static_cast<double>(hits_) / static_cast<double>(t) : 0.0;
+  }
+  const CacheConfig& config() const { return config_; }
+
+  /// Number of valid lines currently resident (O(capacity); tests only).
+  uint64_t CountValid() const;
+
+ private:
+  struct Way {
+    uint64_t tag = 0;
+    uint64_t lru = 0;  // larger == more recent
+    LineState state = LineState::kInvalid;
+  };
+
+  size_t SetIndex(uint64_t line_addr) const {
+    return static_cast<size_t>(line_addr & (num_sets_ - 1));
+  }
+  uint64_t Tag(uint64_t line_addr) const { return line_addr >> set_shift_; }
+  uint64_t LineAddrFrom(uint64_t tag, size_t set) const {
+    return (tag << set_shift_) | static_cast<uint64_t>(set);
+  }
+
+  Way* FindWay(uint64_t line_addr);
+  const Way* FindWay(uint64_t line_addr) const;
+
+  CacheConfig config_;
+  uint64_t num_sets_;
+  uint32_t set_shift_;
+  std::vector<Way> ways_;  // num_sets_ * associativity
+  uint64_t lru_clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t writebacks_ = 0;
+};
+
+}  // namespace stagedcmp::memsim
+
+#endif  // STAGEDCMP_MEMSIM_CACHE_H_

@@ -1,0 +1,193 @@
+// Memory hierarchies: per-core split L1s over either a shared on-chip L2
+// (CMP camps) or private per-node L2s kept coherent with MESI (traditional
+// SMP, for the Figure 7 comparison).
+//
+// The hierarchy is a timing oracle: cores present an access with the current
+// local time and receive (latency, classification). Shared-resource
+// contention (finite L2 ports) is modeled with per-port next-free times, so
+// bursts of correlated misses from many cores suffer queueing delays — the
+// effect behind the sublinear OLTP scaling in Figure 8.
+#ifndef STAGEDCMP_MEMSIM_HIERARCHY_H_
+#define STAGEDCMP_MEMSIM_HIERARCHY_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "memsim/cache.h"
+#include "memsim/stream_buffer.h"
+
+namespace stagedcmp::memsim {
+
+/// Where an access was satisfied; drives stall attribution.
+enum class AccessClass : uint8_t {
+  kL1Hit = 0,      ///< hit in the local L1 (or stream buffer for I-fetch)
+  kL2Hit,          ///< hit in on-chip L2 (or fast L1-to-L1 transfer on CMP)
+  kOffChip,        ///< main-memory access
+  kCoherence,      ///< dirty-remote transfer / invalidation miss (SMP)
+  kCount,
+};
+
+const char* AccessClassName(AccessClass c);
+
+/// Latency parameters (cycles). L2 hit latency is the experiment's main
+/// knob: either Cacti-derived ("real") or pinned at 4 ("const" sweeps).
+struct LatencyConfig {
+  uint32_t l1_hit = 2;
+  uint32_t l2_hit = 14;
+  uint32_t memory = 400;
+  uint32_t remote_l2 = 350;       ///< SMP dirty-remote cache-to-cache
+  uint32_t l1_transfer = 18;      ///< CMP on-chip L1-to-L1 via shared L2
+  uint32_t stream_buffer_hit = 3;
+};
+
+struct HierarchyConfig {
+  uint32_t num_cores = 4;
+  CacheConfig l1i{32 * 1024, 4, 64};
+  CacheConfig l1d{64 * 1024, 4, 64};
+  CacheConfig l2{16ull * 1024 * 1024, 8, 64};
+  LatencyConfig lat;
+  uint32_t l2_ports = 4;          ///< parallel L2 access ports/banks
+  uint32_t l2_port_occupancy = 4; ///< cycles a request holds a port
+  bool stream_buffers = true;
+  uint32_t stream_buffer_count = 4;
+  uint32_t stream_buffer_depth = 8;
+};
+
+struct AccessResult {
+  uint64_t latency = 0;     ///< total load-to-use cycles
+  AccessClass cls = AccessClass::kL1Hit;
+  uint64_t queue_delay = 0; ///< portion of latency due to port queueing
+};
+
+/// Aggregate counters, one row per access class, split I vs D.
+struct HierarchyStats {
+  uint64_t data_count[static_cast<int>(AccessClass::kCount)] = {};
+  uint64_t instr_count[static_cast<int>(AccessClass::kCount)] = {};
+  uint64_t l1_to_l1_transfers = 0;
+  uint64_t invalidations = 0;
+  uint64_t writebacks = 0;
+  LogHistogram queue_delay;
+
+  uint64_t data_total() const {
+    uint64_t t = 0;
+    for (uint64_t c : data_count) t += c;
+    return t;
+  }
+  double data_l2_hit_ratio() const {
+    // Of accesses that missed L1, fraction served by on-chip L2.
+    const uint64_t l2 = data_count[static_cast<int>(AccessClass::kL2Hit)];
+    const uint64_t off = data_count[static_cast<int>(AccessClass::kOffChip)] +
+                         data_count[static_cast<int>(AccessClass::kCoherence)];
+    const uint64_t denom = l2 + off;
+    return denom ? static_cast<double>(l2) / static_cast<double>(denom) : 0.0;
+  }
+};
+
+/// Abstract hierarchy; cores call Access() in (approximately) time order.
+class MemoryHierarchy {
+ public:
+  virtual ~MemoryHierarchy() = default;
+
+  /// A data access from `core` to byte address `addr` at local time `now`.
+  virtual AccessResult AccessData(uint32_t core, uint64_t addr, bool is_write,
+                                  uint64_t now) = 0;
+
+  /// An instruction fetch of the line containing `addr`.
+  virtual AccessResult AccessInstr(uint32_t core, uint64_t addr,
+                                   uint64_t now) = 0;
+
+  virtual const HierarchyStats& stats() const = 0;
+  virtual const HierarchyConfig& config() const = 0;
+
+  /// Zeroes all counters, keeping cache contents (post-warmup measurement).
+  virtual void ResetStats() = 0;
+
+  /// Per-level hit rates for reporting (L1D, L1I, L2 as seen by misses).
+  virtual double L1DHitRate() const = 0;
+  virtual double L1IHitRate() const = 0;
+  virtual double L2HitRate() const = 0;
+};
+
+/// CMP: private split L1s, one shared banked L2, on-chip L1-to-L1 transfers.
+class SharedL2Hierarchy : public MemoryHierarchy {
+ public:
+  explicit SharedL2Hierarchy(const HierarchyConfig& config);
+
+  AccessResult AccessData(uint32_t core, uint64_t addr, bool is_write,
+                          uint64_t now) override;
+  AccessResult AccessInstr(uint32_t core, uint64_t addr,
+                           uint64_t now) override;
+
+  const HierarchyStats& stats() const override { return stats_; }
+  const HierarchyConfig& config() const override { return config_; }
+  void ResetStats() override;
+  double L1DHitRate() const override;
+  double L1IHitRate() const override;
+  double L2HitRate() const override { return l2_.hit_rate(); }
+
+  const Cache& l2() const { return l2_; }
+
+ private:
+  uint64_t PortDelay(uint64_t line_addr, uint64_t now);
+  void TrackL1Fill(uint32_t core, uint64_t line_addr, bool is_write);
+
+  HierarchyConfig config_;
+  std::vector<Cache> l1i_;
+  std::vector<Cache> l1d_;
+  std::vector<StreamBufferFile> sbuf_;
+  Cache l2_;
+  std::vector<uint64_t> port_free_;  // next-free time per L2 port
+  // Directory over L1D lines: which cores hold the line, who owns it dirty.
+  struct DirEntry {
+    uint32_t sharers = 0;
+    int8_t dirty_owner = -1;
+  };
+  std::unordered_map<uint64_t, DirEntry> l1_dir_;
+  HierarchyStats stats_;
+  uint32_t line_shift_;
+};
+
+/// SMP: each node has split L1s and a private L2; MESI over the L2s.
+/// Dirty-remote reads are long-latency cache-to-cache transfers; writes to
+/// remotely-shared lines invalidate (subsequent remote reads then miss).
+class PrivateL2Hierarchy : public MemoryHierarchy {
+ public:
+  explicit PrivateL2Hierarchy(const HierarchyConfig& config);
+
+  AccessResult AccessData(uint32_t core, uint64_t addr, bool is_write,
+                          uint64_t now) override;
+  AccessResult AccessInstr(uint32_t core, uint64_t addr,
+                           uint64_t now) override;
+
+  const HierarchyStats& stats() const override { return stats_; }
+  const HierarchyConfig& config() const override { return config_; }
+  void ResetStats() override;
+  double L1DHitRate() const override;
+  double L1IHitRate() const override;
+  double L2HitRate() const override;
+
+ private:
+  /// Fetches a line into node caches after local L2 miss; returns class.
+  AccessClass FetchRemoteOrMemory(uint32_t node, uint64_t line_addr,
+                                  bool is_write);
+
+  HierarchyConfig config_;
+  std::vector<Cache> l1i_;
+  std::vector<Cache> l1d_;
+  std::vector<Cache> l2_;  // one private L2 per node
+  std::vector<StreamBufferFile> sbuf_;
+  HierarchyStats stats_;
+  uint32_t line_shift_;
+};
+
+/// Factory helpers used by the harness.
+std::unique_ptr<MemoryHierarchy> MakeCmpHierarchy(const HierarchyConfig& c);
+std::unique_ptr<MemoryHierarchy> MakeSmpHierarchy(const HierarchyConfig& c);
+
+}  // namespace stagedcmp::memsim
+
+#endif  // STAGEDCMP_MEMSIM_HIERARCHY_H_

@@ -1,0 +1,41 @@
+#include "trace/cost_model.h"
+
+namespace stagedcmp::trace {
+
+namespace {
+CodeRegion Get(const char* name, uint32_t size) {
+  return CodeMap::Global().Region(name, size);
+}
+}  // namespace
+
+CodeRegion RegionSeqScan() { return Get("seqscan", CodeFootprint::kSeqScan); }
+CodeRegion RegionIndexScan() {
+  return Get("indexscan", CodeFootprint::kIndexScan);
+}
+CodeRegion RegionFilter() { return Get("filter", CodeFootprint::kFilter); }
+CodeRegion RegionProject() { return Get("project", CodeFootprint::kProject); }
+CodeRegion RegionHashBuild() {
+  return Get("hashbuild", CodeFootprint::kHashJoinBuild);
+}
+CodeRegion RegionHashProbe() {
+  return Get("hashprobe", CodeFootprint::kHashJoinProbe);
+}
+CodeRegion RegionNlJoin() { return Get("nljoin", CodeFootprint::kNlJoin); }
+CodeRegion RegionSort() { return Get("sort", CodeFootprint::kSort); }
+CodeRegion RegionAggregate() {
+  return Get("aggregate", CodeFootprint::kAggregate);
+}
+CodeRegion RegionBufferPool() {
+  return Get("bufferpool", CodeFootprint::kBufferPool);
+}
+CodeRegion RegionBtree() { return Get("btree", CodeFootprint::kBtree); }
+CodeRegion RegionLockMgr() { return Get("lockmgr", CodeFootprint::kLockMgr); }
+CodeRegion RegionTxn() { return Get("txn", CodeFootprint::kTxn); }
+CodeRegion RegionCatalog() {
+  return Get("catalog", CodeFootprint::kCatalogParse);
+}
+CodeRegion RegionStageRuntime() {
+  return Get("stageruntime", CodeFootprint::kStageRuntime);
+}
+
+}  // namespace stagedcmp::trace

@@ -1,0 +1,77 @@
+// A Database instance: one arena-backed storage universe shared by all
+// simulated clients (tables, indexes, lock table, log), plus per-run
+// scratch space. All traced addresses ultimately come from here, so
+// logically-shared structures are physically shared in the replay.
+#ifndef STAGEDCMP_WORKLOAD_DATABASE_H_
+#define STAGEDCMP_WORKLOAD_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/arena.h"
+#include "db/bptree.h"
+#include "db/storage.h"
+#include "db/txn.h"
+
+namespace stagedcmp::workload {
+
+class Database {
+ public:
+  Database()
+      : arena_(4 << 20),
+        scratch_(1 << 20),
+        pool_(&arena_),
+        lock_manager_(&arena_),
+        log_(&arena_) {}
+
+  db::Table* CreateTable(const std::string& name, db::Schema schema) {
+    auto table = std::make_unique<db::Table>();
+    table->name = name;
+    table->schema = std::move(schema);
+    const uint32_t file_id = static_cast<uint32_t>(tables_.size());
+    table->heap = std::make_unique<db::HeapFile>(&pool_, file_id,
+                                                 &table->schema);
+    db::Table* out = table.get();
+    tables_[name] = std::move(table);
+    return out;
+  }
+
+  db::BPlusTree* CreateIndex(const std::string& name) {
+    auto idx = std::make_unique<db::BPlusTree>(&arena_);
+    db::BPlusTree* out = idx.get();
+    indexes_[name] = std::move(idx);
+    return out;
+  }
+
+  db::Table* table(const std::string& name) {
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : it->second.get();
+  }
+  db::BPlusTree* index(const std::string& name) {
+    auto it = indexes_.find(name);
+    return it == indexes_.end() ? nullptr : it->second.get();
+  }
+
+  Arena* arena() { return &arena_; }
+  Arena* scratch() { return &scratch_; }
+  db::BufferPool* pool() { return &pool_; }
+  db::LockManager* lock_manager() { return &lock_manager_; }
+  db::LogBuffer* log() { return &log_; }
+
+  /// Total resident data bytes (the workload's maximum data working set).
+  size_t data_bytes() const { return arena_.allocated_bytes(); }
+
+ private:
+  Arena arena_;
+  Arena scratch_;
+  db::BufferPool pool_;
+  db::LockManager lock_manager_;
+  db::LogBuffer log_;
+  std::map<std::string, std::unique_ptr<db::Table>> tables_;
+  std::map<std::string, std::unique_ptr<db::BPlusTree>> indexes_;
+};
+
+}  // namespace stagedcmp::workload
+
+#endif  // STAGEDCMP_WORKLOAD_DATABASE_H_

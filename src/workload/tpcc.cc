@@ -1,0 +1,644 @@
+#include "workload/tpcc.h"
+
+#include <cassert>
+#include <vector>
+
+#include "db/exec.h"
+
+namespace stagedcmp::workload {
+
+using db::Column;
+using db::ColumnType;
+using db::LockMode;
+using db::Rid;
+using db::Schema;
+using db::Table;
+using db::Transaction;
+using db::TupleRef;
+
+namespace {
+
+// Column positions per table (kept in one place; schemas below must match).
+enum WCol { W_ID, W_NAME, W_CITY, W_STATE, W_ZIP, W_TAX, W_YTD };
+enum DCol { D_ID, D_W_ID, D_NAME, D_TAX, D_YTD, D_NEXT_O_ID, D_NEXT_DEL_O };
+enum CCol {
+  C_ID, C_D_ID, C_W_ID, C_FIRST, C_LAST, C_STREET, C_BALANCE,
+  C_YTD_PAYMENT, C_PAYMENT_CNT, C_DELIVERY_CNT, C_CREDIT, C_DISCOUNT, C_DATA
+};
+enum HCol { H_C_ID, H_D_ID, H_W_ID, H_DATE, H_AMOUNT, H_DATA };
+enum OCol { O_ID, O_D_ID, O_W_ID, O_C_ID, O_ENTRY_D, O_CARRIER_ID, O_OL_CNT,
+            O_ALL_LOCAL };
+enum NOCol { NO_O_ID, NO_D_ID, NO_W_ID };
+enum OLCol { OL_O_ID, OL_D_ID, OL_W_ID, OL_NUMBER, OL_I_ID, OL_SUPPLY_W,
+             OL_DELIVERY_D, OL_QUANTITY, OL_AMOUNT, OL_DIST_INFO };
+enum ICol { I_ID, I_IM_ID, I_NAME, I_PRICE, I_DATA };
+enum SCol { S_I_ID, S_W_ID, S_QUANTITY, S_YTD, S_ORDER_CNT, S_REMOTE_CNT,
+            S_DIST, S_DATA };
+
+Schema WarehouseSchema() {
+  return Schema({{"w_id", ColumnType::kInt64, 8},
+                 {"w_name", ColumnType::kChar, 16},
+                 {"w_city", ColumnType::kChar, 16},
+                 {"w_state", ColumnType::kChar, 2},
+                 {"w_zip", ColumnType::kChar, 9},
+                 {"w_tax", ColumnType::kDouble, 8},
+                 {"w_ytd", ColumnType::kDouble, 8}});
+}
+Schema DistrictSchema() {
+  return Schema({{"d_id", ColumnType::kInt64, 8},
+                 {"d_w_id", ColumnType::kInt64, 8},
+                 {"d_name", ColumnType::kChar, 16},
+                 {"d_tax", ColumnType::kDouble, 8},
+                 {"d_ytd", ColumnType::kDouble, 8},
+                 {"d_next_o_id", ColumnType::kInt64, 8},
+                 {"d_next_del_o", ColumnType::kInt64, 8}});
+}
+Schema CustomerSchema() {
+  return Schema({{"c_id", ColumnType::kInt64, 8},
+                 {"c_d_id", ColumnType::kInt64, 8},
+                 {"c_w_id", ColumnType::kInt64, 8},
+                 {"c_first", ColumnType::kChar, 16},
+                 {"c_last", ColumnType::kChar, 16},
+                 {"c_street", ColumnType::kChar, 20},
+                 {"c_balance", ColumnType::kDouble, 8},
+                 {"c_ytd_payment", ColumnType::kDouble, 8},
+                 {"c_payment_cnt", ColumnType::kInt64, 8},
+                 {"c_delivery_cnt", ColumnType::kInt64, 8},
+                 {"c_credit", ColumnType::kChar, 2},
+                 {"c_discount", ColumnType::kDouble, 8},
+                 {"c_data", ColumnType::kChar, 160}});
+}
+Schema HistorySchema() {
+  return Schema({{"h_c_id", ColumnType::kInt64, 8},
+                 {"h_d_id", ColumnType::kInt64, 8},
+                 {"h_w_id", ColumnType::kInt64, 8},
+                 {"h_date", ColumnType::kInt64, 8},
+                 {"h_amount", ColumnType::kDouble, 8},
+                 {"h_data", ColumnType::kChar, 24}});
+}
+Schema OrderSchema() {
+  return Schema({{"o_id", ColumnType::kInt64, 8},
+                 {"o_d_id", ColumnType::kInt64, 8},
+                 {"o_w_id", ColumnType::kInt64, 8},
+                 {"o_c_id", ColumnType::kInt64, 8},
+                 {"o_entry_d", ColumnType::kInt64, 8},
+                 {"o_carrier_id", ColumnType::kInt64, 8},
+                 {"o_ol_cnt", ColumnType::kInt64, 8},
+                 {"o_all_local", ColumnType::kInt64, 8}});
+}
+Schema NewOrderSchema() {
+  return Schema({{"no_o_id", ColumnType::kInt64, 8},
+                 {"no_d_id", ColumnType::kInt64, 8},
+                 {"no_w_id", ColumnType::kInt64, 8}});
+}
+Schema OrderLineSchema() {
+  return Schema({{"ol_o_id", ColumnType::kInt64, 8},
+                 {"ol_d_id", ColumnType::kInt64, 8},
+                 {"ol_w_id", ColumnType::kInt64, 8},
+                 {"ol_number", ColumnType::kInt64, 8},
+                 {"ol_i_id", ColumnType::kInt64, 8},
+                 {"ol_supply_w_id", ColumnType::kInt64, 8},
+                 {"ol_delivery_d", ColumnType::kInt64, 8},
+                 {"ol_quantity", ColumnType::kInt64, 8},
+                 {"ol_amount", ColumnType::kDouble, 8},
+                 {"ol_dist_info", ColumnType::kChar, 24}});
+}
+Schema ItemSchema() {
+  return Schema({{"i_id", ColumnType::kInt64, 8},
+                 {"i_im_id", ColumnType::kInt64, 8},
+                 {"i_name", ColumnType::kChar, 24},
+                 {"i_price", ColumnType::kDouble, 8},
+                 {"i_data", ColumnType::kChar, 40}});
+}
+Schema StockSchema() {
+  return Schema({{"s_i_id", ColumnType::kInt64, 8},
+                 {"s_w_id", ColumnType::kInt64, 8},
+                 {"s_quantity", ColumnType::kInt64, 8},
+                 {"s_ytd", ColumnType::kDouble, 8},
+                 {"s_order_cnt", ColumnType::kInt64, 8},
+                 {"s_remote_cnt", ColumnType::kInt64, 8},
+                 {"s_dist", ColumnType::kChar, 48},
+                 {"s_data", ColumnType::kChar, 40}});
+}
+
+}  // namespace
+
+const char* TpccTxnName(TpccTxnType t) {
+  switch (t) {
+    case TpccTxnType::kNewOrder: return "NewOrder";
+    case TpccTxnType::kPayment: return "Payment";
+    case TpccTxnType::kOrderStatus: return "OrderStatus";
+    case TpccTxnType::kDelivery: return "Delivery";
+    case TpccTxnType::kStockLevel: return "StockLevel";
+  }
+  return "?";
+}
+
+void TpccLoad(Database* db, const TpccConfig& cfg) {
+  Rng rng(cfg.load_seed);
+
+  Table* warehouse = db->CreateTable("warehouse", WarehouseSchema());
+  Table* district = db->CreateTable("district", DistrictSchema());
+  Table* customer = db->CreateTable("customer", CustomerSchema());
+  db->CreateTable("history", HistorySchema());
+  Table* orders = db->CreateTable("orders", OrderSchema());
+  Table* new_order = db->CreateTable("new_order", NewOrderSchema());
+  Table* order_line = db->CreateTable("order_line", OrderLineSchema());
+  Table* item = db->CreateTable("item", ItemSchema());
+  Table* stock = db->CreateTable("stock", StockSchema());
+
+  db::BPlusTree* idx_w = db->CreateIndex("warehouse_pk");
+  db::BPlusTree* idx_d = db->CreateIndex("district_pk");
+  db::BPlusTree* idx_c = db->CreateIndex("customer_pk");
+  db::BPlusTree* idx_i = db->CreateIndex("item_pk");
+  db::BPlusTree* idx_s = db->CreateIndex("stock_pk");
+  db::BPlusTree* idx_o = db->CreateIndex("orders_pk");
+  db::BPlusTree* idx_co = db->CreateIndex("customer_order");
+  db::BPlusTree* idx_no = db->CreateIndex("new_order_pk");
+  db::BPlusTree* idx_ol = db->CreateIndex("order_line_pk");
+
+  std::vector<uint8_t> buf(512);
+
+  // ITEM.
+  for (uint32_t i = 1; i <= cfg.items; ++i) {
+    TupleRef t(&item->schema, buf.data());
+    t.SetInt(I_ID, i);
+    t.SetInt(I_IM_ID, rng.Uniform(1, 10000));
+    t.SetString(I_NAME, rng.AlphaString(14, 24));
+    t.SetDouble(I_PRICE, static_cast<double>(rng.Uniform(100, 10000)) / 100.0);
+    t.SetString(I_DATA, rng.AlphaString(26, 40));
+    Rid rid = item->heap->Insert(buf.data(), nullptr);
+    idx_i->Insert(TpccKeys::Item(i), rid.Encode(), nullptr);
+  }
+
+  for (uint32_t w = 1; w <= cfg.warehouses; ++w) {
+    {
+      TupleRef t(&warehouse->schema, buf.data());
+      t.SetInt(W_ID, w);
+      t.SetString(W_NAME, rng.AlphaString(6, 10));
+      t.SetString(W_CITY, rng.AlphaString(10, 16));
+      t.SetString(W_STATE, "CA");
+      t.SetString(W_ZIP, "123456789");
+      t.SetDouble(W_TAX, rng.NextDouble() * 0.2);
+      t.SetDouble(W_YTD, 300000.0);
+      Rid rid = warehouse->heap->Insert(buf.data(), nullptr);
+      idx_w->Insert(TpccKeys::Warehouse(w), rid.Encode(), nullptr);
+    }
+    // STOCK for this warehouse.
+    for (uint32_t i = 1; i <= cfg.items; ++i) {
+      TupleRef t(&stock->schema, buf.data());
+      t.SetInt(S_I_ID, i);
+      t.SetInt(S_W_ID, w);
+      t.SetInt(S_QUANTITY, rng.Uniform(10, 100));
+      t.SetDouble(S_YTD, 0.0);
+      t.SetInt(S_ORDER_CNT, 0);
+      t.SetInt(S_REMOTE_CNT, 0);
+      t.SetString(S_DIST, rng.AlphaString(24, 48));
+      t.SetString(S_DATA, rng.AlphaString(26, 40));
+      Rid rid = stock->heap->Insert(buf.data(), nullptr);
+      idx_s->Insert(TpccKeys::Stock(w, i), rid.Encode(), nullptr);
+    }
+    for (uint32_t d = 1; d <= cfg.districts_per_warehouse; ++d) {
+      {
+        TupleRef t(&district->schema, buf.data());
+        t.SetInt(D_ID, d);
+        t.SetInt(D_W_ID, w);
+        t.SetString(D_NAME, rng.AlphaString(6, 10));
+        t.SetDouble(D_TAX, rng.NextDouble() * 0.2);
+        t.SetDouble(D_YTD, 30000.0);
+        t.SetInt(D_NEXT_O_ID, cfg.initial_orders_per_district + 1);
+        t.SetInt(D_NEXT_DEL_O, 1);
+        Rid rid = district->heap->Insert(buf.data(), nullptr);
+        idx_d->Insert(TpccKeys::District(w, d), rid.Encode(), nullptr);
+      }
+      // CUSTOMER.
+      for (uint32_t c = 1; c <= cfg.customers_per_district; ++c) {
+        TupleRef t(&customer->schema, buf.data());
+        t.SetInt(C_ID, c);
+        t.SetInt(C_D_ID, d);
+        t.SetInt(C_W_ID, w);
+        t.SetString(C_FIRST, rng.AlphaString(8, 16));
+        t.SetString(C_LAST, rng.AlphaString(8, 16));
+        t.SetString(C_STREET, rng.AlphaString(10, 20));
+        t.SetDouble(C_BALANCE, -10.0);
+        t.SetDouble(C_YTD_PAYMENT, 10.0);
+        t.SetInt(C_PAYMENT_CNT, 1);
+        t.SetInt(C_DELIVERY_CNT, 0);
+        t.SetString(C_CREDIT, rng.Uniform(0, 9) ? "GC" : "BC");
+        t.SetDouble(C_DISCOUNT, rng.NextDouble() * 0.5);
+        t.SetString(C_DATA, rng.AlphaString(100, 160));
+        Rid rid = customer->heap->Insert(buf.data(), nullptr);
+        idx_c->Insert(TpccKeys::Customer(w, d, c), rid.Encode(), nullptr);
+      }
+      // Initial ORDERs + lines (+NEW_ORDER backlog for the last third).
+      for (uint32_t o = 1; o <= cfg.initial_orders_per_district; ++o) {
+        const uint32_t c =
+            static_cast<uint32_t>(rng.Uniform(1, cfg.customers_per_district));
+        const uint32_t ol_cnt = static_cast<uint32_t>(rng.Uniform(5, 15));
+        TupleRef t(&orders->schema, buf.data());
+        t.SetInt(O_ID, o);
+        t.SetInt(O_D_ID, d);
+        t.SetInt(O_W_ID, w);
+        t.SetInt(O_C_ID, c);
+        t.SetInt(O_ENTRY_D, rng.Uniform(0, 1000));
+        t.SetInt(O_CARRIER_ID,
+                 o + (cfg.initial_orders_per_district / 3) <=
+                         cfg.initial_orders_per_district
+                     ? rng.Uniform(1, 10)
+                     : 0);
+        t.SetInt(O_OL_CNT, ol_cnt);
+        t.SetInt(O_ALL_LOCAL, 1);
+        Rid orid = orders->heap->Insert(buf.data(), nullptr);
+        idx_o->Insert(TpccKeys::Order(w, d, o), orid.Encode(), nullptr);
+        idx_co->Insert(TpccKeys::CustomerOrder(w, d, c, o), orid.Encode(),
+                       nullptr);
+        for (uint32_t l = 1; l <= ol_cnt; ++l) {
+          TupleRef lt(&order_line->schema, buf.data());
+          lt.SetInt(OL_O_ID, o);
+          lt.SetInt(OL_D_ID, d);
+          lt.SetInt(OL_W_ID, w);
+          lt.SetInt(OL_NUMBER, l);
+          lt.SetInt(OL_I_ID, rng.Uniform(1, cfg.items));
+          lt.SetInt(OL_SUPPLY_W, w);
+          lt.SetInt(OL_DELIVERY_D, rng.Uniform(0, 1000));
+          lt.SetInt(OL_QUANTITY, 5);
+          lt.SetDouble(OL_AMOUNT,
+                       static_cast<double>(rng.Uniform(1, 999999)) / 100.0);
+          lt.SetString(OL_DIST_INFO, rng.AlphaString(24, 24));
+          Rid lrid = order_line->heap->Insert(buf.data(), nullptr);
+          idx_ol->Insert(TpccKeys::OrderLine(w, d, o, l), lrid.Encode(),
+                         nullptr);
+        }
+        if (o * 3 > cfg.initial_orders_per_district * 2) {
+          TupleRef nt(&new_order->schema, buf.data());
+          nt.SetInt(NO_O_ID, o);
+          nt.SetInt(NO_D_ID, d);
+          nt.SetInt(NO_W_ID, w);
+          Rid nrid = new_order->heap->Insert(buf.data(), nullptr);
+          idx_no->Insert(TpccKeys::Order(w, d, o), nrid.Encode(), nullptr);
+        }
+      }
+    }
+  }
+}
+
+TpccDriver::TpccDriver(Database* db, const TpccConfig& config,
+                       uint32_t home_warehouse, uint64_t seed)
+    : db_(db), config_(config), home_w_(home_warehouse), rng_(seed) {
+  assert(home_warehouse >= 1 && home_warehouse <= config.warehouses);
+}
+
+TpccTxnType TpccDriver::RunOne(trace::Tracer* tracer) {
+  // Standard mix: 45/43/4/4/4.
+  const int64_t r = rng_.Uniform(0, 99);
+  TpccTxnType type;
+  if (r < 45) type = TpccTxnType::kNewOrder;
+  else if (r < 88) type = TpccTxnType::kPayment;
+  else if (r < 92) type = TpccTxnType::kOrderStatus;
+  else if (r < 96) type = TpccTxnType::kDelivery;
+  else type = TpccTxnType::kStockLevel;
+  Run(type, tracer);
+  return type;
+}
+
+void TpccDriver::Run(TpccTxnType type, trace::Tracer* tracer) {
+  // Statement path length outside the storage engine: network/ODBC decode,
+  // parse, plan-cache probe, catalog touches. Commercial engines spend
+  // thousands of instructions per statement here; it is a large part of
+  // OLTP's instruction footprint (and of its computation component).
+  if (tracer != nullptr) {
+    tracer->EnterRegion(trace::RegionCatalog());
+    tracer->Compute(2400);
+  }
+  switch (type) {
+    case TpccTxnType::kNewOrder: NewOrder(tracer); break;
+    case TpccTxnType::kPayment: Payment(tracer); break;
+    case TpccTxnType::kOrderStatus: OrderStatus(tracer); break;
+    case TpccTxnType::kDelivery: Delivery(tracer); break;
+    case TpccTxnType::kStockLevel: StockLevel(tracer); break;
+  }
+  ++executed_;
+  if (tracer != nullptr) tracer->EndRequest();
+}
+
+void TpccDriver::NewOrder(trace::Tracer* t) {
+  const uint32_t w = home_w_;
+  const uint32_t d = RandomDistrict();
+  const uint32_t c = RandomCustomer();
+  const uint32_t ol_cnt = static_cast<uint32_t>(rng_.Uniform(5, 15));
+
+  Transaction txn(db_->lock_manager(), db_->log());
+  txn.Begin(t);
+
+  // Warehouse tax (S), district (X, bump next_o_id), customer (S).
+  uint64_t v;
+  db::Table* warehouse = db_->table("warehouse");
+  db_->index("warehouse_pk")->Lookup(TpccKeys::Warehouse(w), &v, t);
+  uint8_t* wrow = warehouse->heap->Get(Rid::Decode(v), t);
+  TupleRef wref(&warehouse->schema, wrow);
+  const double w_tax = wref.GetDouble(W_TAX);
+
+  txn.Lock(TpccKeys::District(w, d), LockMode::kExclusive, t);
+  db::Table* district = db_->table("district");
+  db_->index("district_pk")->Lookup(TpccKeys::District(w, d), &v, t);
+  uint8_t* drow = district->heap->Get(Rid::Decode(v), t);
+  TupleRef dref(&district->schema, drow);
+  const int64_t o_id = dref.GetInt(D_NEXT_O_ID);
+  dref.SetInt(D_NEXT_O_ID, o_id + 1);
+  if (t != nullptr) t->Write(drow + district->schema.offset(D_NEXT_O_ID), 8, 2);
+  const double d_tax = dref.GetDouble(D_TAX);
+
+  db::Table* customer = db_->table("customer");
+  db_->index("customer_pk")->Lookup(TpccKeys::Customer(w, d, c), &v, t);
+  uint8_t* crow = customer->heap->Get(Rid::Decode(v), t);
+  TupleRef cref(&customer->schema, crow);
+  const double c_discount = cref.GetDouble(C_DISCOUNT);
+
+  // Insert ORDER + NEW_ORDER.
+  db::Table* orders = db_->table("orders");
+  db::Table* new_order = db_->table("new_order");
+  db::Table* order_line = db_->table("order_line");
+  db::Table* item = db_->table("item");
+  db::Table* stock = db_->table("stock");
+  std::vector<uint8_t> buf(512);
+  {
+    TupleRef o(&orders->schema, buf.data());
+    o.SetInt(O_ID, o_id);
+    o.SetInt(O_D_ID, d);
+    o.SetInt(O_W_ID, w);
+    o.SetInt(O_C_ID, c);
+    o.SetInt(O_ENTRY_D, static_cast<int64_t>(executed_));
+    o.SetInt(O_CARRIER_ID, 0);
+    o.SetInt(O_OL_CNT, ol_cnt);
+    o.SetInt(O_ALL_LOCAL, 1);
+    Rid orid = orders->heap->Insert(buf.data(), t);
+    db_->index("orders_pk")->Insert(TpccKeys::Order(w, d, o_id),
+                                    orid.Encode(), t);
+    db_->index("customer_order")
+        ->Insert(TpccKeys::CustomerOrder(w, d, c, o_id), orid.Encode(), t);
+    TupleRef n(&new_order->schema, buf.data());
+    n.SetInt(NO_O_ID, o_id);
+    n.SetInt(NO_D_ID, d);
+    n.SetInt(NO_W_ID, w);
+    Rid nrid = new_order->heap->Insert(buf.data(), t);
+    db_->index("new_order_pk")->Insert(TpccKeys::Order(w, d, o_id),
+                                       nrid.Encode(), t);
+  }
+
+  double total = 0.0;
+  for (uint32_t l = 1; l <= ol_cnt; ++l) {
+    const uint32_t i_id = RandomItem();
+    db_->index("item_pk")->Lookup(TpccKeys::Item(i_id), &v, t);
+    uint8_t* irow = item->heap->Get(Rid::Decode(v), t);
+    TupleRef iref(&item->schema, irow);
+    const double price = iref.GetDouble(I_PRICE);
+
+    txn.Lock(TpccKeys::Stock(w, i_id), LockMode::kExclusive, t);
+    db_->index("stock_pk")->Lookup(TpccKeys::Stock(w, i_id), &v, t);
+    uint8_t* srow = stock->heap->Get(Rid::Decode(v), t);
+    TupleRef sref(&stock->schema, srow);
+    const int64_t qty = sref.GetInt(S_QUANTITY);
+    const int64_t order_qty = rng_.Uniform(1, 10);
+    sref.SetInt(S_QUANTITY, qty >= order_qty + 10 ? qty - order_qty
+                                                  : qty - order_qty + 91);
+    sref.SetDouble(S_YTD, sref.GetDouble(S_YTD) + static_cast<double>(order_qty));
+    sref.SetInt(S_ORDER_CNT, sref.GetInt(S_ORDER_CNT) + 1);
+    if (t != nullptr) t->Write(srow, 48, 6);
+
+    const double amount = price * static_cast<double>(order_qty);
+    total += amount;
+    TupleRef ol(&order_line->schema, buf.data());
+    ol.SetInt(OL_O_ID, o_id);
+    ol.SetInt(OL_D_ID, d);
+    ol.SetInt(OL_W_ID, w);
+    ol.SetInt(OL_NUMBER, l);
+    ol.SetInt(OL_I_ID, i_id);
+    ol.SetInt(OL_SUPPLY_W, w);
+    ol.SetInt(OL_DELIVERY_D, 0);
+    ol.SetInt(OL_QUANTITY, order_qty);
+    ol.SetDouble(OL_AMOUNT, amount);
+    ol.SetString(OL_DIST_INFO, "distinfo-distinfo-dist");
+    Rid lrid = order_line->heap->Insert(buf.data(), t);
+    db_->index("order_line_pk")
+        ->Insert(TpccKeys::OrderLine(w, d, static_cast<uint64_t>(o_id), l),
+                 lrid.Encode(), t);
+  }
+  total *= (1.0 + w_tax + d_tax) * (1.0 - c_discount);
+  (void)total;
+  txn.Commit(t);
+  ++new_orders_;
+}
+
+void TpccDriver::Payment(trace::Tracer* t) {
+  const uint32_t w = home_w_;
+  const uint32_t d = RandomDistrict();
+  // 85% local customer, 15% remote warehouse (drives cross-node sharing).
+  uint32_t c_w = w, c_d = d;
+  if (config_.warehouses > 1 && rng_.Uniform(0, 99) < 15) {
+    do {
+      c_w = static_cast<uint32_t>(rng_.Uniform(1, config_.warehouses));
+    } while (c_w == w);
+    c_d = RandomDistrict();
+  }
+  const uint32_t c = RandomCustomer();
+  const double amount = static_cast<double>(rng_.Uniform(100, 500000)) / 100.0;
+
+  Transaction txn(db_->lock_manager(), db_->log());
+  txn.Begin(t);
+
+  uint64_t v;
+  txn.Lock(TpccKeys::Warehouse(w), LockMode::kExclusive, t);
+  db::Table* warehouse = db_->table("warehouse");
+  db_->index("warehouse_pk")->Lookup(TpccKeys::Warehouse(w), &v, t);
+  uint8_t* wrow = warehouse->heap->Get(Rid::Decode(v), t);
+  TupleRef wref(&warehouse->schema, wrow);
+  wref.SetDouble(W_YTD, wref.GetDouble(W_YTD) + amount);
+  if (t != nullptr) t->Write(wrow + warehouse->schema.offset(W_YTD), 8, 2);
+
+  txn.Lock(TpccKeys::District(w, d), LockMode::kExclusive, t);
+  db::Table* district = db_->table("district");
+  db_->index("district_pk")->Lookup(TpccKeys::District(w, d), &v, t);
+  uint8_t* drow = district->heap->Get(Rid::Decode(v), t);
+  TupleRef dref(&district->schema, drow);
+  dref.SetDouble(D_YTD, dref.GetDouble(D_YTD) + amount);
+  if (t != nullptr) t->Write(drow + district->schema.offset(D_YTD), 8, 2);
+
+  txn.Lock(TpccKeys::Customer(c_w, c_d, c), LockMode::kExclusive, t);
+  db::Table* customer = db_->table("customer");
+  db_->index("customer_pk")->Lookup(TpccKeys::Customer(c_w, c_d, c), &v, t);
+  uint8_t* crow = customer->heap->Get(Rid::Decode(v), t);
+  TupleRef cref(&customer->schema, crow);
+  cref.SetDouble(C_BALANCE, cref.GetDouble(C_BALANCE) - amount);
+  cref.SetDouble(C_YTD_PAYMENT, cref.GetDouble(C_YTD_PAYMENT) + amount);
+  cref.SetInt(C_PAYMENT_CNT, cref.GetInt(C_PAYMENT_CNT) + 1);
+  if (t != nullptr) t->Write(crow + customer->schema.offset(C_BALANCE), 24, 6);
+
+  db::Table* history = db_->table("history");
+  std::vector<uint8_t> buf(128);
+  TupleRef h(&history->schema, buf.data());
+  h.SetInt(H_C_ID, c);
+  h.SetInt(H_D_ID, c_d);
+  h.SetInt(H_W_ID, c_w);
+  h.SetInt(H_DATE, static_cast<int64_t>(executed_));
+  h.SetDouble(H_AMOUNT, amount);
+  h.SetString(H_DATA, "payment-history-data");
+  history->heap->Insert(buf.data(), t);
+
+  txn.Commit(t);
+}
+
+void TpccDriver::OrderStatus(trace::Tracer* t) {
+  const uint32_t w = home_w_;
+  const uint32_t d = RandomDistrict();
+  const uint32_t c = RandomCustomer();
+
+  Transaction txn(db_->lock_manager(), db_->log());
+  txn.Begin(t);
+
+  uint64_t v;
+  db::Table* customer = db_->table("customer");
+  db_->index("customer_pk")->Lookup(TpccKeys::Customer(w, d, c), &v, t);
+  customer->heap->Get(Rid::Decode(v), t);
+
+  // Most recent order for this customer.
+  uint64_t okey = 0, orid = 0;
+  const bool found = db_->index("customer_order")
+                         ->FindLast(TpccKeys::CustomerOrder(w, d, c, 0),
+                                    TpccKeys::CustomerOrder(w, d, c,
+                                                            (1ULL << 20) - 1),
+                                    &okey, &orid, t);
+  if (found) {
+    db::Table* orders = db_->table("orders");
+    uint8_t* orow = orders->heap->Get(Rid::Decode(orid), t);
+    TupleRef oref(&orders->schema, orow);
+    const uint64_t o_id = static_cast<uint64_t>(oref.GetInt(O_ID));
+    const int64_t ol_cnt = oref.GetInt(O_OL_CNT);
+    db::Table* order_line = db_->table("order_line");
+    db_->index("order_line_pk")
+        ->Scan(TpccKeys::OrderLine(w, d, o_id, 0),
+               TpccKeys::OrderLine(w, d, o_id, 15),
+               [&](uint64_t, uint64_t rid) {
+                 order_line->heap->Get(Rid::Decode(rid), t);
+                 return true;
+               },
+               t);
+    (void)ol_cnt;
+  }
+  txn.Commit(t);
+}
+
+void TpccDriver::Delivery(trace::Tracer* t) {
+  const uint32_t w = home_w_;
+  Transaction txn(db_->lock_manager(), db_->log());
+  txn.Begin(t);
+
+  db::Table* district = db_->table("district");
+  db::Table* orders = db_->table("orders");
+  db::Table* order_line = db_->table("order_line");
+  db::Table* customer = db_->table("customer");
+
+  for (uint32_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+    uint64_t v;
+    txn.Lock(TpccKeys::District(w, d), LockMode::kExclusive, t);
+    db_->index("district_pk")->Lookup(TpccKeys::District(w, d), &v, t);
+    uint8_t* drow = district->heap->Get(Rid::Decode(v), t);
+    TupleRef dref(&district->schema, drow);
+    const int64_t next_del = dref.GetInt(D_NEXT_DEL_O);
+    if (next_del >= dref.GetInt(D_NEXT_O_ID)) continue;  // nothing pending
+    // Oldest undelivered order (new_order "delete" is advancing the
+    // per-district delivery cursor; see header comment).
+    dref.SetInt(D_NEXT_DEL_O, next_del + 1);
+    if (t != nullptr) {
+      t->Write(drow + district->schema.offset(D_NEXT_DEL_O), 8, 2);
+    }
+
+    uint64_t orid;
+    if (!db_->index("orders_pk")
+             ->Lookup(TpccKeys::Order(w, d, static_cast<uint64_t>(next_del)),
+                      &orid, t)) {
+      continue;
+    }
+    uint8_t* orow = orders->heap->Get(Rid::Decode(orid), t);
+    TupleRef oref(&orders->schema, orow);
+    oref.SetInt(O_CARRIER_ID, rng_.Uniform(1, 10));
+    if (t != nullptr) t->Write(orow + orders->schema.offset(O_CARRIER_ID), 8, 2);
+    const int64_t c = oref.GetInt(O_C_ID);
+
+    double sum = 0.0;
+    db_->index("order_line_pk")
+        ->Scan(TpccKeys::OrderLine(w, d, static_cast<uint64_t>(next_del), 0),
+               TpccKeys::OrderLine(w, d, static_cast<uint64_t>(next_del), 15),
+               [&](uint64_t, uint64_t rid) {
+                 uint8_t* lrow = order_line->heap->Get(Rid::Decode(rid), t);
+                 TupleRef lref(&order_line->schema, lrow);
+                 sum += lref.GetDouble(OL_AMOUNT);
+                 lref.SetInt(OL_DELIVERY_D, static_cast<int64_t>(executed_));
+                 if (t != nullptr) {
+                   t->Write(lrow + order_line->schema.offset(OL_DELIVERY_D),
+                            8, 2);
+                 }
+                 return true;
+               },
+               t);
+
+    txn.Lock(TpccKeys::Customer(w, d, static_cast<uint64_t>(c)),
+             LockMode::kExclusive, t);
+    db_->index("customer_pk")
+        ->Lookup(TpccKeys::Customer(w, d, static_cast<uint64_t>(c)), &v, t);
+    uint8_t* crow = customer->heap->Get(Rid::Decode(v), t);
+    TupleRef cref(&customer->schema, crow);
+    cref.SetDouble(C_BALANCE, cref.GetDouble(C_BALANCE) + sum);
+    cref.SetInt(C_DELIVERY_CNT, cref.GetInt(C_DELIVERY_CNT) + 1);
+    if (t != nullptr) {
+      t->Write(crow + customer->schema.offset(C_BALANCE), 16, 4);
+    }
+  }
+  txn.Commit(t);
+}
+
+void TpccDriver::StockLevel(trace::Tracer* t) {
+  const uint32_t w = home_w_;
+  const uint32_t d = RandomDistrict();
+  const int64_t threshold = rng_.Uniform(10, 20);
+
+  Transaction txn(db_->lock_manager(), db_->log());
+  txn.Begin(t);
+
+  uint64_t v;
+  db::Table* district = db_->table("district");
+  db_->index("district_pk")->Lookup(TpccKeys::District(w, d), &v, t);
+  uint8_t* drow = district->heap->Get(Rid::Decode(v), t);
+  TupleRef dref(&district->schema, drow);
+  const int64_t next_o = dref.GetInt(D_NEXT_O_ID);
+  const int64_t lo_o = next_o > 20 ? next_o - 20 : 1;
+
+  db::Table* order_line = db_->table("order_line");
+  db::Table* stock = db_->table("stock");
+  std::vector<int64_t> items;
+  db_->index("order_line_pk")
+      ->Scan(TpccKeys::OrderLine(w, d, static_cast<uint64_t>(lo_o), 0),
+             TpccKeys::OrderLine(w, d, static_cast<uint64_t>(next_o), 15),
+             [&](uint64_t, uint64_t rid) {
+               uint8_t* lrow = order_line->heap->Get(Rid::Decode(rid), t);
+               TupleRef lref(&order_line->schema, lrow);
+               items.push_back(lref.GetInt(OL_I_ID));
+               return true;
+             },
+             t);
+  int64_t low = 0;
+  for (int64_t i : items) {
+    uint64_t srid;
+    if (!db_->index("stock_pk")
+             ->Lookup(TpccKeys::Stock(w, static_cast<uint64_t>(i)), &srid,
+                      t)) {
+      continue;
+    }
+    uint8_t* srow = stock->heap->Get(Rid::Decode(srid), t);
+    TupleRef sref(&stock->schema, srow);
+    if (sref.GetInt(S_QUANTITY) < threshold) ++low;
+  }
+  (void)low;
+  txn.Commit(t);
+}
+
+}  // namespace stagedcmp::workload

@@ -1,0 +1,438 @@
+#include "workload/tpch.h"
+
+#include <cassert>
+#include <vector>
+
+namespace stagedcmp::workload {
+
+using db::AggFn;
+using db::AggSpec;
+using db::Column;
+using db::ColumnType;
+using db::FilterStage;
+using db::AggStage;
+using db::HashAggOp;
+using db::HashJoinOp;
+using db::Operator;
+using db::Predicate;
+using db::Rid;
+using db::Schema;
+using db::SeqScanOp;
+using db::SourceStage;
+using db::StagedPipeline;
+using db::StagePolicy;
+using db::Table;
+using db::TupleRef;
+
+namespace {
+
+// Column positions (schemas below must match).
+enum LCol {
+  L_ORDERKEY, L_PARTKEY, L_SUPPKEY, L_LINENUMBER, L_QUANTITY,
+  L_EXTENDEDPRICE, L_DISCOUNT, L_TAX, L_RETURNFLAG, L_LINESTATUS,
+  L_SHIPDATE, L_COMMITDATE, L_RECEIPTDATE, L_DISCPRICE, L_REVENUE, L_COMMENT
+};
+enum OCol {
+  O_ORDERKEY, O_CUSTKEY, O_STATUS, O_TOTALPRICE, O_ORDERDATE, O_PRIORITY,
+  O_COMMENT_CLASS, O_ONE, O_COMMENT
+};
+enum CCol { C_CUSTKEY, C_NATIONKEY, C_ACCTBAL, C_MKTSEGMENT, C_NAME,
+            C_ADDRESS };
+enum PCol { P_PARTKEY, P_BRAND, P_TYPE, P_SIZE, P_RETAIL, P_NAME, P_MFGR };
+enum PSCol { PS_PARTKEY, PS_SUPPKEY, PS_AVAILQTY, PS_SUPPLYCOST };
+enum SCol { S_SUPPKEY, S_NATIONKEY, S_ACCTBAL, S_COMMENT_CLASS, S_NAME };
+
+constexpr int64_t kMaxDate = 2557;  // days in 1992-01-01 .. 1998-12-31
+
+Schema LineitemSchema() {
+  return Schema({{"l_orderkey", ColumnType::kInt64, 8},
+                 {"l_partkey", ColumnType::kInt64, 8},
+                 {"l_suppkey", ColumnType::kInt64, 8},
+                 {"l_linenumber", ColumnType::kInt64, 8},
+                 {"l_quantity", ColumnType::kInt64, 8},
+                 {"l_extendedprice", ColumnType::kDouble, 8},
+                 {"l_discount", ColumnType::kDouble, 8},
+                 {"l_tax", ColumnType::kDouble, 8},
+                 {"l_returnflag", ColumnType::kInt64, 8},
+                 {"l_linestatus", ColumnType::kInt64, 8},
+                 {"l_shipdate", ColumnType::kInt64, 8},
+                 {"l_commitdate", ColumnType::kInt64, 8},
+                 {"l_receiptdate", ColumnType::kInt64, 8},
+                 {"l_discprice", ColumnType::kDouble, 8},
+                 {"l_revenue", ColumnType::kDouble, 8},
+                 {"l_comment", ColumnType::kChar, 20}});
+}
+Schema OrdersSchema() {
+  return Schema({{"o_orderkey", ColumnType::kInt64, 8},
+                 {"o_custkey", ColumnType::kInt64, 8},
+                 {"o_status", ColumnType::kInt64, 8},
+                 {"o_totalprice", ColumnType::kDouble, 8},
+                 {"o_orderdate", ColumnType::kInt64, 8},
+                 {"o_priority", ColumnType::kInt64, 8},
+                 {"o_comment_class", ColumnType::kInt64, 8},
+                 {"o_one", ColumnType::kInt64, 8},
+                 {"o_comment", ColumnType::kChar, 24}});
+}
+Schema CustomerSchema() {
+  return Schema({{"c_custkey", ColumnType::kInt64, 8},
+                 {"c_nationkey", ColumnType::kInt64, 8},
+                 {"c_acctbal", ColumnType::kDouble, 8},
+                 {"c_mktsegment", ColumnType::kInt64, 8},
+                 {"c_name", ColumnType::kChar, 24},
+                 {"c_address", ColumnType::kChar, 32}});
+}
+Schema PartSchema() {
+  return Schema({{"p_partkey", ColumnType::kInt64, 8},
+                 {"p_brand", ColumnType::kInt64, 8},
+                 {"p_type", ColumnType::kInt64, 8},
+                 {"p_size", ColumnType::kInt64, 8},
+                 {"p_retail", ColumnType::kDouble, 8},
+                 {"p_name", ColumnType::kChar, 32},
+                 {"p_mfgr", ColumnType::kChar, 16}});
+}
+Schema PartsuppSchema() {
+  return Schema({{"ps_partkey", ColumnType::kInt64, 8},
+                 {"ps_suppkey", ColumnType::kInt64, 8},
+                 {"ps_availqty", ColumnType::kInt64, 8},
+                 {"ps_supplycost", ColumnType::kDouble, 8}});
+}
+Schema SupplierSchema() {
+  return Schema({{"s_suppkey", ColumnType::kInt64, 8},
+                 {"s_nationkey", ColumnType::kInt64, 8},
+                 {"s_acctbal", ColumnType::kDouble, 8},
+                 {"s_comment_class", ColumnType::kInt64, 8},
+                 {"s_name", ColumnType::kChar, 24}});
+}
+
+}  // namespace
+
+const char* TpchQueryName(TpchQuery q) {
+  switch (q) {
+    case TpchQuery::kQ1: return "Q1";
+    case TpchQuery::kQ6: return "Q6";
+    case TpchQuery::kQ13: return "Q13";
+    case TpchQuery::kQ16: return "Q16";
+  }
+  return "?";
+}
+
+void TpchLoad(Database* db, const TpchConfig& cfg) {
+  Rng rng(cfg.load_seed);
+  Table* lineitem = db->CreateTable("lineitem", LineitemSchema());
+  Table* orders = db->CreateTable("orders", OrdersSchema());
+  Table* customer = db->CreateTable("customer", CustomerSchema());
+  Table* part = db->CreateTable("part", PartSchema());
+  Table* partsupp = db->CreateTable("partsupp", PartsuppSchema());
+  Table* supplier = db->CreateTable("supplier", SupplierSchema());
+
+  std::vector<uint8_t> buf(512);
+
+  for (uint32_t s = 1; s <= cfg.suppliers; ++s) {
+    TupleRef t(&supplier->schema, buf.data());
+    t.SetInt(S_SUPPKEY, s);
+    t.SetInt(S_NATIONKEY, rng.Uniform(0, 24));
+    t.SetDouble(S_ACCTBAL, rng.NextDouble() * 10000.0);
+    t.SetInt(S_COMMENT_CLASS, rng.Uniform(0, 9));
+    t.SetString(S_NAME, rng.AlphaString(12, 24));
+    supplier->heap->Insert(buf.data(), nullptr);
+  }
+
+  for (uint32_t p = 1; p <= cfg.parts; ++p) {
+    TupleRef t(&part->schema, buf.data());
+    t.SetInt(P_PARTKEY, p);
+    t.SetInt(P_BRAND, rng.Uniform(0, 24));      // Brand#xy
+    t.SetInt(P_TYPE, rng.Uniform(0, 149));      // 150 types
+    t.SetInt(P_SIZE, rng.Uniform(1, 50));
+    t.SetDouble(P_RETAIL, 900.0 + rng.NextDouble() * 1000.0);
+    t.SetString(P_NAME, rng.AlphaString(20, 32));
+    t.SetString(P_MFGR, rng.AlphaString(8, 16));
+    part->heap->Insert(buf.data(), nullptr);
+    for (uint32_t k = 0; k < cfg.partsupp_per_part; ++k) {
+      TupleRef ps(&partsupp->schema, buf.data());
+      ps.SetInt(PS_PARTKEY, p);
+      ps.SetInt(PS_SUPPKEY, rng.Uniform(1, cfg.suppliers));
+      ps.SetInt(PS_AVAILQTY, rng.Uniform(1, 9999));
+      ps.SetDouble(PS_SUPPLYCOST, rng.NextDouble() * 1000.0);
+      partsupp->heap->Insert(buf.data(), nullptr);
+    }
+  }
+
+  for (uint32_t c = 1; c <= cfg.customers; ++c) {
+    TupleRef t(&customer->schema, buf.data());
+    t.SetInt(C_CUSTKEY, c);
+    t.SetInt(C_NATIONKEY, rng.Uniform(0, 24));
+    t.SetDouble(C_ACCTBAL, rng.NextDouble() * 10000.0 - 1000.0);
+    t.SetInt(C_MKTSEGMENT, rng.Uniform(0, 4));
+    t.SetString(C_NAME, rng.AlphaString(12, 24));
+    t.SetString(C_ADDRESS, rng.AlphaString(16, 32));
+    customer->heap->Insert(buf.data(), nullptr);
+  }
+
+  // Orders + lineitems. A third of customers have no orders (Q13's point).
+  for (uint32_t o = 1; o <= cfg.orders; ++o) {
+    const int64_t custkey =
+        rng.Uniform(1, (cfg.customers * 2) / 3);
+    const int64_t orderdate = rng.Uniform(0, kMaxDate - 200);
+    TupleRef t(&orders->schema, buf.data());
+    t.SetInt(O_ORDERKEY, o);
+    t.SetInt(O_CUSTKEY, custkey);
+    t.SetInt(O_STATUS, rng.Uniform(0, 2));
+    t.SetDouble(O_TOTALPRICE, 0.0);
+    t.SetInt(O_ORDERDATE, orderdate);
+    t.SetInt(O_PRIORITY, rng.Uniform(0, 4));
+    t.SetInt(O_COMMENT_CLASS, rng.Uniform(0, 9));
+    t.SetInt(O_ONE, 1);
+    t.SetString(O_COMMENT, rng.AlphaString(16, 24));
+    orders->heap->Insert(buf.data(), nullptr);
+
+    const uint32_t nlines =
+        static_cast<uint32_t>(rng.Uniform(1, cfg.max_lines_per_order));
+    double total = 0.0;
+    for (uint32_t l = 1; l <= nlines; ++l) {
+      TupleRef lt(&lineitem->schema, buf.data());
+      const int64_t qty = rng.Uniform(1, 50);
+      const double price = static_cast<double>(rng.Uniform(90000, 105000)) / 100.0 *
+                           static_cast<double>(qty) / 10.0;
+      const double disc = static_cast<double>(rng.Uniform(0, 10)) / 100.0;
+      const double tax = static_cast<double>(rng.Uniform(0, 8)) / 100.0;
+      const int64_t shipdate = orderdate + rng.Uniform(1, 121);
+      lt.SetInt(L_ORDERKEY, o);
+      lt.SetInt(L_PARTKEY, rng.Uniform(1, cfg.parts));
+      lt.SetInt(L_SUPPKEY, rng.Uniform(1, cfg.suppliers));
+      lt.SetInt(L_LINENUMBER, l);
+      lt.SetInt(L_QUANTITY, qty);
+      lt.SetDouble(L_EXTENDEDPRICE, price);
+      lt.SetDouble(L_DISCOUNT, disc);
+      lt.SetDouble(L_TAX, tax);
+      // Return flag/status correlate with dates as in dbgen.
+      lt.SetInt(L_RETURNFLAG, shipdate < kMaxDate / 2 ? rng.Uniform(0, 1) : 2);
+      lt.SetInt(L_LINESTATUS, shipdate < kMaxDate * 3 / 4 ? 0 : 1);
+      lt.SetInt(L_SHIPDATE, shipdate);
+      lt.SetInt(L_COMMITDATE, shipdate + rng.Uniform(0, 30));
+      lt.SetInt(L_RECEIPTDATE, shipdate + rng.Uniform(1, 30));
+      lt.SetDouble(L_DISCPRICE, price * (1.0 - disc));
+      lt.SetDouble(L_REVENUE, price * disc);
+      lt.SetString(L_COMMENT, rng.AlphaString(12, 20));
+      lineitem->heap->Insert(buf.data(), nullptr);
+      total += price;
+    }
+    // (o_totalprice left as-is; not used by the query mix.)
+    (void)total;
+  }
+}
+
+std::unique_ptr<Operator> BuildTpchPlan(Database* db, TpchQuery q, Rng* rng) {
+  switch (q) {
+    case TpchQuery::kQ1: {
+      // select returnflag, linestatus, sum(qty), sum(extprice),
+      //        sum(discprice), avg(qty), count(*)
+      // from lineitem where shipdate <= date - delta group by rf, ls
+      const int64_t delta = rng->Uniform(60, 120);
+      Predicate p;
+      p.column = L_SHIPDATE;
+      p.op = Predicate::Op::kLe;
+      p.ival = kMaxDate - delta;
+      auto scan = std::make_unique<SeqScanOp>(
+          db->table("lineitem")->heap.get(), std::vector<Predicate>{p});
+      std::vector<AggSpec> aggs = {
+          {AggFn::kSum, L_QUANTITY, false, "sum_qty"},
+          {AggFn::kSum, L_EXTENDEDPRICE, true, "sum_base_price"},
+          {AggFn::kSum, L_DISCPRICE, true, "sum_disc_price"},
+          {AggFn::kAvg, L_QUANTITY, false, "avg_qty"},
+          {AggFn::kAvg, L_DISCOUNT, true, "avg_disc"},
+          {AggFn::kCount, -1, false, "count_order"}};
+      return std::make_unique<HashAggOp>(
+          std::move(scan), std::vector<int>{L_RETURNFLAG, L_LINESTATUS},
+          std::move(aggs));
+    }
+    case TpchQuery::kQ6: {
+      // select sum(extprice*discount) from lineitem
+      // where shipdate in year, discount in [d-0.01,d+0.01], quantity < q
+      const int64_t year_start = rng->Uniform(0, 5) * 365;
+      const double disc = static_cast<double>(rng->Uniform(2, 9)) / 100.0;
+      const int64_t qty = rng->Uniform(24, 25);
+      Predicate p1;
+      p1.column = L_SHIPDATE;
+      p1.op = Predicate::Op::kBetween;
+      p1.ival = year_start;
+      p1.ival2 = year_start + 365;
+      Predicate p2;
+      p2.column = L_DISCOUNT;
+      p2.op = Predicate::Op::kBetween;
+      p2.is_double = true;
+      p2.dval = disc - 0.011;
+      p2.dval2 = disc + 0.011;
+      Predicate p3;
+      p3.column = L_QUANTITY;
+      p3.op = Predicate::Op::kLt;
+      p3.ival = qty;
+      auto scan = std::make_unique<SeqScanOp>(
+          db->table("lineitem")->heap.get(),
+          std::vector<Predicate>{p1, p2, p3});
+      std::vector<AggSpec> aggs = {{AggFn::kSum, L_REVENUE, true, "revenue"}};
+      return std::make_unique<HashAggOp>(std::move(scan), std::vector<int>{},
+                                         std::move(aggs));
+    }
+    case TpchQuery::kQ13: {
+      // select c_count, count(*) from
+      //   (select c_custkey, sum(o_one) from customer left join orders
+      //      on c_custkey = o_custkey and o_comment_class <> k
+      //    group by c_custkey)
+      // group by c_count
+      const int64_t k = rng->Uniform(0, 9);
+      Predicate p;
+      p.column = O_COMMENT_CLASS;
+      p.op = Predicate::Op::kNe;
+      p.ival = k;
+      auto orders_scan = std::make_unique<SeqScanOp>(
+          db->table("orders")->heap.get(), std::vector<Predicate>{p});
+      auto cust_scan = std::make_unique<SeqScanOp>(
+          db->table("customer")->heap.get(), std::vector<Predicate>{});
+      auto join = std::make_unique<HashJoinOp>(
+          std::move(orders_scan), std::move(cust_scan), O_CUSTKEY, C_CUSTKEY,
+          HashJoinOp::Type::kLeftOuter);
+      // Join output = customer columns ++ orders columns.
+      const int c_custkey = C_CUSTKEY;
+      const int o_one_col =
+          static_cast<int>(db->table("customer")->schema.num_columns()) +
+          O_ONE;
+      std::vector<AggSpec> inner_aggs = {
+          {AggFn::kSum, o_one_col, false, "c_count"}};
+      auto inner = std::make_unique<HashAggOp>(
+          std::move(join), std::vector<int>{c_custkey},
+          std::move(inner_aggs));
+      // inner output: [c_custkey, c_count]; distribution over c_count.
+      std::vector<AggSpec> outer_aggs = {{AggFn::kCount, -1, false,
+                                          "custdist"}};
+      return std::make_unique<HashAggOp>(std::move(inner),
+                                         std::vector<int>{1},
+                                         std::move(outer_aggs));
+    }
+    case TpchQuery::kQ16: {
+      // select p_brand, p_type, p_size, count(distinct ps_suppkey)
+      // from partsupp join part on p_partkey = ps_partkey
+      // where p_brand <> b and p_type-class <> t and p_size < s
+      // group by brand, type, size  (distinct via two-level aggregation)
+      const int64_t b = rng->Uniform(0, 24);
+      const int64_t tcls = rng->Uniform(0, 4);
+      const int64_t size = rng->Uniform(20, 50);
+      Predicate p1;
+      p1.column = P_BRAND;
+      p1.op = Predicate::Op::kNe;
+      p1.ival = b;
+      Predicate p2;
+      p2.column = P_TYPE;
+      p2.op = Predicate::Op::kGe;
+      p2.ival = tcls * 30;  // excludes one 30-type band below
+      Predicate p3;
+      p3.column = P_SIZE;
+      p3.op = Predicate::Op::kLt;
+      p3.ival = size;
+      auto part_scan = std::make_unique<SeqScanOp>(
+          db->table("part")->heap.get(), std::vector<Predicate>{p1, p2, p3});
+      auto ps_scan = std::make_unique<SeqScanOp>(
+          db->table("partsupp")->heap.get(), std::vector<Predicate>{});
+      auto join = std::make_unique<HashJoinOp>(
+          std::move(part_scan), std::move(ps_scan), P_PARTKEY, PS_PARTKEY,
+          HashJoinOp::Type::kInner);
+      const int base = static_cast<int>(
+          db->table("partsupp")->schema.num_columns());
+      // Level 1: group by (brand, type, size, suppkey) — dedup suppliers.
+      auto dedup = std::make_unique<HashAggOp>(
+          std::move(join),
+          std::vector<int>{base + P_BRAND, base + P_TYPE, base + P_SIZE,
+                           PS_SUPPKEY},
+          std::vector<AggSpec>{{AggFn::kCount, -1, false, "n"}});
+      // Level 2: count distinct suppliers per (brand, type, size).
+      return std::make_unique<HashAggOp>(
+          std::move(dedup), std::vector<int>{0, 1, 2},
+          std::vector<AggSpec>{{AggFn::kCount, -1, false, "supplier_cnt"}});
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<StagedPipeline> BuildTpchStagedPlan(Database* db, TpchQuery q,
+                                                    Rng* rng,
+                                                    uint32_t packet_tuples) {
+  const Schema* ls = &db->table("lineitem")->schema;
+  const uint32_t pt = packet_tuples == 0
+                          ? db::DefaultPacketTuples(ls->tuple_size())
+                          : packet_tuples;
+  switch (q) {
+    case TpchQuery::kQ1: {
+      const int64_t delta = rng->Uniform(60, 120);
+      Predicate p;
+      p.column = L_SHIPDATE;
+      p.op = Predicate::Op::kLe;
+      p.ival = kMaxDate - delta;
+      auto scan = std::make_unique<SeqScanOp>(
+          db->table("lineitem")->heap.get(), std::vector<Predicate>{});
+      auto source = std::make_unique<SourceStage>("scan-lineitem",
+                                                  std::move(scan), pt);
+      std::vector<std::unique_ptr<db::Stage>> stages;
+      stages.push_back(std::make_unique<FilterStage>(
+          "filter-shipdate", ls, std::vector<Predicate>{p}, pt));
+      stages.push_back(std::make_unique<AggStage>(
+          "agg-q1", ls, std::vector<int>{L_RETURNFLAG, L_LINESTATUS},
+          std::vector<AggSpec>{
+              {AggFn::kSum, L_QUANTITY, false, "sum_qty"},
+              {AggFn::kSum, L_EXTENDEDPRICE, true, "sum_base_price"},
+              {AggFn::kSum, L_DISCPRICE, true, "sum_disc_price"},
+              {AggFn::kCount, -1, false, "count_order"}}));
+      return std::make_unique<StagedPipeline>(
+          std::move(source), std::move(stages), StagePolicy::kCohort, pt);
+    }
+    case TpchQuery::kQ6: {
+      const int64_t year_start = rng->Uniform(0, 5) * 365;
+      const double disc = static_cast<double>(rng->Uniform(2, 9)) / 100.0;
+      Predicate p1;
+      p1.column = L_SHIPDATE;
+      p1.op = Predicate::Op::kBetween;
+      p1.ival = year_start;
+      p1.ival2 = year_start + 365;
+      Predicate p2;
+      p2.column = L_DISCOUNT;
+      p2.op = Predicate::Op::kBetween;
+      p2.is_double = true;
+      p2.dval = disc - 0.011;
+      p2.dval2 = disc + 0.011;
+      Predicate p3;
+      p3.column = L_QUANTITY;
+      p3.op = Predicate::Op::kLt;
+      p3.ival = 24;
+      auto scan = std::make_unique<SeqScanOp>(
+          db->table("lineitem")->heap.get(), std::vector<Predicate>{});
+      auto source = std::make_unique<SourceStage>("scan-lineitem",
+                                                  std::move(scan), pt);
+      std::vector<std::unique_ptr<db::Stage>> stages;
+      stages.push_back(std::make_unique<FilterStage>(
+          "filter-q6", ls, std::vector<Predicate>{p1, p2, p3}, pt));
+      stages.push_back(std::make_unique<AggStage>(
+          "agg-q6", ls, std::vector<int>{},
+          std::vector<AggSpec>{{AggFn::kSum, L_REVENUE, true, "revenue"}}));
+      return std::make_unique<StagedPipeline>(
+          std::move(source), std::move(stages), StagePolicy::kCohort, pt);
+    }
+    default:
+      return nullptr;  // staged variants provided for the scan queries
+  }
+}
+
+uint64_t TpchDriver::RunOne(trace::Tracer* tracer) {
+  const TpchQuery q = kMix[executed_ % 6];
+  return Run(q, tracer);
+}
+
+uint64_t TpchDriver::Run(TpchQuery q, trace::Tracer* tracer) {
+  db::ExecContext ctx;
+  ctx.tracer = tracer;
+  ctx.temp = &scratch_;
+  std::unique_ptr<Operator> plan = BuildTpchPlan(db_, q, &rng_);
+  const uint64_t rows = db::DrainOperator(plan.get(), &ctx);
+  ++executed_;
+  if (tracer != nullptr) tracer->EndRequest();
+  return rows;
+}
+
+}  // namespace stagedcmp::workload

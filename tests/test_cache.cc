@@ -1,0 +1,166 @@
+// Unit tests for the set-associative cache (memsim/cache.*).
+#include "memsim/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stagedcmp::memsim {
+namespace {
+
+CacheConfig Small() { return CacheConfig{1024, 2, 64}; }  // 8 sets x 2 ways
+
+TEST(CacheConfigTest, NumSets) {
+  EXPECT_EQ(Small().num_sets(), 8u);
+  EXPECT_EQ((CacheConfig{64 * 1024, 4, 64}).num_sets(), 256u);
+}
+
+TEST(CacheConfigTest, ValidateRejectsBadGeometry) {
+  EXPECT_FALSE(Cache::Validate(CacheConfig{1000, 2, 64}).ok());
+  EXPECT_FALSE(Cache::Validate(CacheConfig{1024, 0, 64}).ok());
+  EXPECT_FALSE(Cache::Validate(CacheConfig{1024, 2, 48}).ok());
+  EXPECT_FALSE(Cache::Validate(CacheConfig{64, 2, 64}).ok());
+  EXPECT_TRUE(Cache::Validate(CacheConfig{1024, 2, 64}).ok());
+}
+
+TEST(CacheTest, MissThenHit) {
+  Cache c(Small());
+  EXPECT_FALSE(c.Access(100, false));
+  c.Fill(100, false);
+  EXPECT_TRUE(c.Access(100, false));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheTest, WriteMarksModified) {
+  Cache c(Small());
+  c.Fill(5, false);
+  EXPECT_EQ(c.GetState(5), LineState::kExclusive);
+  c.Access(5, true);
+  EXPECT_EQ(c.GetState(5), LineState::kModified);
+}
+
+TEST(CacheTest, FillWithWriteIsModified) {
+  Cache c(Small());
+  c.Fill(9, true);
+  EXPECT_EQ(c.GetState(9), LineState::kModified);
+}
+
+TEST(CacheTest, LruEvictsOldest) {
+  Cache c(Small());  // 2 ways per set; lines k, k+8, k+16 map to set k%8
+  c.Fill(0, false);
+  c.Fill(8, false);
+  c.Access(0, false);           // 0 is now MRU
+  EvictedLine ev = c.Fill(16, false);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, 8u);  // LRU way evicted
+  EXPECT_TRUE(c.Contains(0));
+  EXPECT_TRUE(c.Contains(16));
+  EXPECT_FALSE(c.Contains(8));
+}
+
+TEST(CacheTest, DirtyEvictionReportsWriteback) {
+  Cache c(Small());
+  c.Fill(0, true);  // dirty
+  c.Fill(8, false);
+  EvictedLine ev = c.Fill(16, false);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, 0u);
+  EXPECT_TRUE(ev.dirty);
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(CacheTest, InvalidateRemovesLine) {
+  Cache c(Small());
+  c.Fill(3, true);
+  bool present = false;
+  EXPECT_TRUE(c.Invalidate(3, &present));  // returns dirty
+  EXPECT_TRUE(present);
+  EXPECT_FALSE(c.Contains(3));
+  EXPECT_FALSE(c.Invalidate(3, &present));
+  EXPECT_FALSE(present);
+}
+
+TEST(CacheTest, DowngradeToShared) {
+  Cache c(Small());
+  c.Fill(3, true);
+  EXPECT_TRUE(c.Downgrade(3));  // was dirty
+  EXPECT_EQ(c.GetState(3), LineState::kShared);
+  EXPECT_FALSE(c.Downgrade(3));  // now clean
+}
+
+TEST(CacheTest, CapacityBound) {
+  Cache c(Small());  // 16 lines total
+  for (uint64_t i = 0; i < 100; ++i) c.Fill(i, false);
+  EXPECT_EQ(c.CountValid(), 16u);
+}
+
+TEST(CacheTest, ResetCountersKeepsContents) {
+  Cache c(Small());
+  c.Fill(1, false);
+  c.Access(1, false);
+  c.ResetCounters();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_TRUE(c.Contains(1));
+}
+
+TEST(CacheTest, DistinctSetsDoNotConflict) {
+  Cache c(Small());
+  for (uint64_t s = 0; s < 8; ++s) {
+    c.Fill(s, false);
+    c.Fill(s + 8, false);
+  }
+  for (uint64_t s = 0; s < 8; ++s) {
+    EXPECT_TRUE(c.Contains(s));
+    EXPECT_TRUE(c.Contains(s + 8));
+  }
+}
+
+// Property sweep: hit rate under a cyclic working set is ~1 when the set
+// fits, and collapses under LRU when it exceeds capacity (sequential cycle
+// is LRU's worst case). Also: a bigger cache never hurts for this pattern.
+class CacheWorkingSetTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(CacheWorkingSetTest, CyclicWorkingSetHitRate) {
+  const uint64_t cache_bytes = std::get<0>(GetParam());
+  const uint32_t ws_lines = std::get<1>(GetParam());
+  Cache c(CacheConfig{cache_bytes, 8, 64});
+  const uint64_t capacity_lines = cache_bytes / 64;
+
+  for (int rep = 0; rep < 50; ++rep) {
+    for (uint32_t i = 0; i < ws_lines; ++i) {
+      if (!c.Access(i, false)) c.Fill(i, false);
+    }
+  }
+  const double hr = c.hit_rate();
+  if (ws_lines <= capacity_lines * 3 / 4) {
+    EXPECT_GT(hr, 0.95) << "working set fits but hit rate low";
+  }
+  if (ws_lines > capacity_lines * 2) {
+    EXPECT_LT(hr, 0.30) << "thrashing working set should mostly miss";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheWorkingSetTest,
+    ::testing::Combine(::testing::Values(4096ull, 16384ull, 65536ull),
+                       ::testing::Values(16u, 64u, 256u, 2048u)));
+
+// Random-access determinism: same seed => same counters.
+TEST(CacheTest, DeterministicUnderSameSeed) {
+  auto run = [] {
+    Cache c(CacheConfig{8192, 4, 64});
+    Rng rng(99);
+    for (int i = 0; i < 10000; ++i) {
+      const uint64_t line = rng.Next() % 512;
+      if (!c.Access(line, (rng.Next() & 1) != 0)) c.Fill(line, false);
+    }
+    return std::make_tuple(c.hits(), c.misses(), c.writebacks());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace stagedcmp::memsim

@@ -1,0 +1,115 @@
+// Unit tests for the Cacti-like cache access-time model.
+#include <gtest/gtest.h>
+
+#include "cacti/cache_model.h"
+
+namespace stagedcmp::cacti {
+namespace {
+
+TEST(CactiTest, RejectsDegenerateGeometry) {
+  CacheTiming t;
+  CacheGeometry g;
+  g.size_bytes = 32;  // smaller than a line
+  EXPECT_FALSE(ComputeTiming(g, &t).ok());
+  g.size_bytes = 1 << 20;
+  g.line_bytes = 48;  // not pow2
+  EXPECT_FALSE(ComputeTiming(g, &t).ok());
+  g.line_bytes = 64;
+  g.associativity = 0;
+  EXPECT_FALSE(ComputeTiming(g, &t).ok());
+  g.associativity = 8;
+  g.banks = 3;  // not pow2
+  EXPECT_FALSE(ComputeTiming(g, &t).ok());
+  EXPECT_FALSE(ComputeTiming(g, nullptr).ok());
+}
+
+TEST(CactiTest, LatencyMonotoneInSize) {
+  uint32_t prev = 0;
+  for (uint64_t mb = 1; mb <= 32; mb *= 2) {
+    const uint32_t c = AccessLatencyCycles(mb << 20);
+    EXPECT_GE(c, prev) << mb << "MB";
+    prev = c;
+  }
+}
+
+TEST(CactiTest, EraAnchorPoints) {
+  // The sweep's calibration anchors (DESIGN.md): ~4-6 cycles at 1MB,
+  // 12-16 at 16MB, 15-25 at 26MB.
+  const uint32_t c1 = AccessLatencyCycles(1ull << 20);
+  const uint32_t c16 = AccessLatencyCycles(16ull << 20);
+  const uint32_t c26 = AccessLatencyCycles(26ull << 20);
+  EXPECT_GE(c1, 3u);
+  EXPECT_LE(c1, 6u);
+  EXPECT_GE(c16, 12u);
+  EXPECT_LE(c16, 16u);
+  EXPECT_GE(c26, 15u);
+  EXPECT_LE(c26, 25u);
+  // The paper's >3x latency growth across the sweep.
+  EXPECT_GE(static_cast<double>(c26) / c1, 3.0);
+}
+
+TEST(CactiTest, OlderNodesSlowerInAbsoluteTime) {
+  CacheGeometry g;
+  g.size_bytes = 1 << 20;
+  CacheTiming t65, t250;
+  g.tech = TechNode::k65nm;
+  ASSERT_TRUE(ComputeTiming(g, &t65).ok());
+  g.tech = TechNode::k250nm;
+  ASSERT_TRUE(ComputeTiming(g, &t250).ok());
+  EXPECT_GT(t250.access_ns, t65.access_ns);
+}
+
+TEST(CactiTest, AreaAndEnergyGrowWithSize) {
+  CacheGeometry a, b;
+  a.size_bytes = 1 << 20;
+  b.size_bytes = 16 << 20;
+  b.banks = 8;
+  CacheTiming ta, tb;
+  ASSERT_TRUE(ComputeTiming(a, &ta).ok());
+  ASSERT_TRUE(ComputeTiming(b, &tb).ok());
+  EXPECT_GT(tb.area_mm2, ta.area_mm2);
+  EXPECT_GT(tb.dynamic_nj, ta.dynamic_nj);
+}
+
+TEST(CactiTest, HistoricTrendsSortedAndGrowing) {
+  const auto& pts = HistoricTrends();
+  ASSERT_GE(pts.size(), 10u);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].year, pts[i - 1].year);
+  }
+  // Figure 1(a): capacity grows by ~3 orders of magnitude 1990 -> 2006+.
+  EXPECT_GE(pts.back().onchip_cache_kb / pts.front().onchip_cache_kb, 100u);
+  // Figure 1(b): latency more than triples across the period.
+  uint32_t early = pts[2].l2_hit_cycles;  // mid-90s point
+  uint32_t late = 0;
+  for (const auto& p : pts) {
+    if (p.year >= 2004) late = std::max(late, p.l2_hit_cycles);
+  }
+  EXPECT_GE(late, early * 3);
+}
+
+// Property sweep: banking never makes latency worse by more than the
+// H-tree overhead, and every valid geometry returns positive values.
+class CactiSweepTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(CactiSweepTest, ValidGeometryProducesPositiveTiming) {
+  CacheGeometry g;
+  g.size_bytes = std::get<0>(GetParam());
+  g.banks = std::get<1>(GetParam());
+  if (g.size_bytes / g.banks < g.line_bytes) GTEST_SKIP();
+  CacheTiming t;
+  ASSERT_TRUE(ComputeTiming(g, &t).ok());
+  EXPECT_GT(t.access_ns, 0.0);
+  EXPECT_GE(t.cycles, 1u);
+  EXPECT_GT(t.area_mm2, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CactiSweepTest,
+    ::testing::Combine(::testing::Values(64ull << 10, 1ull << 20, 4ull << 20,
+                                         26ull << 20),
+                       ::testing::Values(1u, 2u, 8u, 16u)));
+
+}  // namespace
+}  // namespace stagedcmp::cacti

@@ -1,0 +1,190 @@
+// Unit tests for common utilities: RNG, Zipf, arena, statistics, printer.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/arena.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+
+namespace stagedcmp {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("bad size"), std::string::npos);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.Uniform(5, 17);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NuRandWithinBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NuRand(255, 1, 1200, 173);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 1200);
+  }
+}
+
+TEST(RngTest, AlphaStringLengthBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const std::string s = rng.AlphaString(5, 12);
+    EXPECT_GE(s.size(), 5u);
+    EXPECT_LE(s.size(), 12u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, BoundsRespected) {
+  Rng rng(6);
+  ZipfGenerator zipf(100, 0.9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(rng), 100u);
+}
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  Rng rng(7);
+  ZipfGenerator zipf(1000, 0.99);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) head += (zipf.Next(rng) < 100);
+  // With theta=0.99 the top decile draws well over half the accesses.
+  EXPECT_GT(head, n / 2);
+}
+
+TEST(ZipfTest, ZeroThetaIsRoughlyUniform) {
+  Rng rng(8);
+  ZipfGenerator zipf(10, 0.0);
+  std::array<int, 10> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Next(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 / 2);
+    EXPECT_LT(c, n / 10 * 2);
+  }
+}
+
+TEST(ArenaTest, AlignmentHonored) {
+  Arena arena(1024);
+  for (size_t align : {8u, 16u, 64u, 512u}) {
+    void* p = arena.Allocate(10, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u) << align;
+  }
+}
+
+TEST(ArenaTest, PointersStableAndDistinct) {
+  Arena arena(128);  // force many blocks
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 1000; ++i) {
+    int* p = static_cast<int*>(arena.Allocate(sizeof(int)));
+    *p = i;
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(*ptrs[i], i);
+  std::set<int*> unique(ptrs.begin(), ptrs.end());
+  EXPECT_EQ(unique.size(), ptrs.size());
+}
+
+TEST(ArenaTest, LargeAllocationSpansBlock) {
+  Arena arena(64);
+  void* p = arena.Allocate(10000);
+  EXPECT_NE(p, nullptr);
+  EXPECT_GE(arena.reserved_bytes(), 10000u);
+}
+
+TEST(ArenaTest, AllocateArrayConstructs) {
+  Arena arena;
+  struct Obj {
+    int x = 42;
+  };
+  Obj* arr = arena.AllocateArray<Obj>(100);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(arr[i].x, 42);
+}
+
+TEST(RunningStatTest, MeanMinMax) {
+  RunningStat s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_NEAR(s.stddev(), 1.29099, 1e-4);
+}
+
+TEST(LogHistogramTest, CountsAndMean) {
+  LogHistogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.mean(), 101.0 / 3, 1e-9);
+}
+
+TEST(LogHistogramTest, QuantileMonotone) {
+  LogHistogram h;
+  for (uint64_t i = 0; i < 1000; ++i) h.Add(i);
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(0.99));
+}
+
+TEST(TablePrinterTest, CsvRoundtrip) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"x", "y"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(TablePrinterTest, NumAndPctFormat) {
+  EXPECT_EQ(TablePrinter::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Pct(0.5), "50.0%");
+}
+
+}  // namespace
+}  // namespace stagedcmp

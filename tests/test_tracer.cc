@@ -1,0 +1,199 @@
+// Tests for trace event packing and the Tracer recorder.
+#include <gtest/gtest.h>
+
+#include "trace/cost_model.h"
+#include "trace/events.h"
+#include "trace/tracer.h"
+
+namespace stagedcmp::trace {
+namespace {
+
+TEST(EventPackTest, ComputeRoundtrip) {
+  const uint64_t e = PackEvent(EventKind::kCompute, 0xABCDEF1234ULL, 1234);
+  EXPECT_EQ(UnpackKind(e), EventKind::kCompute);
+  EXPECT_EQ(UnpackAddr(e), 0xABCDEF1234ULL);
+  EXPECT_EQ(UnpackCount(e), 1234u);
+  EXPECT_FALSE(UnpackDependent(e));
+}
+
+TEST(EventPackTest, MemDependentRoundtrip) {
+  const uint64_t e = PackMemEvent(EventKind::kRead, 0x7F0000001000ULL, 77,
+                                  /*dependent=*/true);
+  EXPECT_EQ(UnpackKind(e), EventKind::kRead);
+  EXPECT_EQ(UnpackAddr(e), 0x7F0000001000ULL);
+  EXPECT_EQ(UnpackCount(e), 77u);
+  EXPECT_TRUE(UnpackDependent(e));
+}
+
+class EventPackSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t, uint32_t>> {};
+
+TEST_P(EventPackSweep, RoundtripAllFields) {
+  const EventKind kind = static_cast<EventKind>(std::get<0>(GetParam()));
+  const uint64_t addr = std::get<1>(GetParam());
+  const uint32_t count = std::get<2>(GetParam());
+  const bool mem = kind == EventKind::kRead || kind == EventKind::kWrite;
+  const uint64_t e = mem ? PackMemEvent(kind, addr, count % kMaxMemCount,
+                                        (addr & 1) != 0)
+                         : PackEvent(kind, addr, count);
+  EXPECT_EQ(UnpackKind(e), kind);
+  EXPECT_EQ(UnpackAddr(e), addr & kAddrMask);
+  if (mem) {
+    EXPECT_EQ(UnpackCount(e), count % kMaxMemCount);
+    EXPECT_EQ(UnpackDependent(e), (addr & 1) != 0);
+  } else {
+    EXPECT_EQ(UnpackCount(e), count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EventPackSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0ull, 64ull, 0x7FFFFFFF0000ull,
+                                         0xFFFFFFFFFFFFull),
+                       ::testing::Values(0u, 1u, 100u, 8000u)));
+
+TEST(TracerTest, ComputeAccumulatesInstructions) {
+  Tracer t;
+  t.Compute(100);
+  t.Compute(50);
+  t.FlushCompute();
+  EXPECT_EQ(t.trace().total_instructions, 150u);
+}
+
+TEST(TracerTest, ReadSpanningLinesEmitsPerLineEvents) {
+  Tracer t;
+  alignas(64) char buf[256];
+  t.Read(buf, 200, 4);  // 200B from a 64B-aligned base: 4 lines
+  const auto& ev = t.trace().events;
+  int reads = 0;
+  for (uint64_t e : ev) {
+    if (UnpackKind(e) == EventKind::kRead) ++reads;
+  }
+  EXPECT_EQ(reads, 4);
+}
+
+TEST(TracerTest, DependentFlagOnlyOnFirstLine) {
+  Tracer t;
+  alignas(64) char buf[256];
+  t.Read(buf, 128, 4, /*dependent=*/true);
+  const auto& ev = t.trace().events;
+  ASSERT_GE(ev.size(), 2u);
+  int dep = 0;
+  for (uint64_t e : ev) dep += UnpackDependent(e);
+  EXPECT_EQ(dep, 1);  // chase resolves with the first line
+}
+
+TEST(TracerTest, ComputeFoldedIntoMemEvent) {
+  Tracer t;
+  alignas(64) char buf[64];
+  t.Compute(20);
+  t.Read(buf, 8, 4);
+  const auto& ev = t.trace().events;
+  ASSERT_EQ(ev.size(), 1u);  // folded: one mem event carrying 24 instrs
+  EXPECT_EQ(UnpackCount(ev[0]), 24u);
+  EXPECT_EQ(t.trace().total_instructions, 24u);
+}
+
+TEST(TracerTest, RegionSwitchEmitsJumpCompute) {
+  Tracer t;
+  CodeRegion r1 = CodeMap::Global().Region("test-r1", 8192);
+  CodeRegion r2 = CodeMap::Global().Region("test-r2", 8192);
+  t.EnterRegion(r1);
+  t.Compute(50);
+  t.EnterRegion(r2);
+  t.Compute(50);
+  t.FlushCompute();
+  const auto& ev = t.trace().events;
+  bool saw_r1 = false, saw_r2 = false;
+  for (uint64_t e : ev) {
+    if (UnpackKind(e) != EventKind::kCompute) continue;
+    const uint64_t pc = UnpackAddr(e);
+    saw_r1 |= pc >= r1.base && pc < r1.base + r1.size;
+    saw_r2 |= pc >= r2.base && pc < r2.base + r2.size;
+  }
+  EXPECT_TRUE(saw_r1);
+  EXPECT_TRUE(saw_r2);
+}
+
+TEST(TracerTest, RegionPcPersistsAcrossReentry) {
+  Tracer t;
+  CodeRegion r1 = CodeMap::Global().Region("test-persist-1", 65536);
+  CodeRegion r2 = CodeMap::Global().Region("test-persist-2", 65536);
+  t.EnterRegion(r1);
+  t.Compute(500);
+  t.EnterRegion(r2);
+  t.Compute(10);
+  t.EnterRegion(r1);  // PC must resume past the first 500 instructions
+  t.Compute(10);
+  t.FlushCompute();
+  uint64_t last_r1_pc = 0;
+  for (uint64_t e : t.trace().events) {
+    if (UnpackKind(e) == EventKind::kCompute) {
+      const uint64_t pc = UnpackAddr(e);
+      if (pc >= r1.base && pc < r1.base + r1.size) last_r1_pc = pc;
+    }
+  }
+  EXPECT_GT(last_r1_pc, r1.base + 500);  // advanced well past region start
+}
+
+TEST(TracerTest, EndRequestEmitsMarker) {
+  Tracer t;
+  t.Compute(10);
+  t.EndRequest();
+  t.Compute(10);
+  t.EndRequest();
+  EXPECT_EQ(t.trace().requests, 2u);
+  int markers = 0;
+  for (uint64_t e : t.trace().events) {
+    markers += (UnpackKind(e) == EventKind::kMarker);
+  }
+  EXPECT_EQ(markers, 2);
+}
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  Tracer t;
+  t.set_enabled(false);
+  alignas(64) char buf[64];
+  t.Compute(100);
+  t.Read(buf, 64, 4);
+  t.EndRequest();
+  EXPECT_TRUE(t.trace().empty());
+  EXPECT_EQ(t.trace().total_instructions, 0u);
+}
+
+TEST(TracerTest, TakeTraceResets) {
+  Tracer t;
+  t.Compute(10);
+  t.FlushCompute();
+  ClientTrace tr = t.TakeTrace();
+  EXPECT_FALSE(tr.empty());
+  EXPECT_TRUE(t.trace().empty());
+}
+
+TEST(CodeMapTest, RegionsDisjointAndStable) {
+  CodeMap map;
+  CodeRegion a = map.Region("op-a", 16384);
+  CodeRegion b = map.Region("op-b", 16384);
+  CodeRegion a2 = map.Region("op-a", 16384);
+  EXPECT_EQ(a.base, a2.base);
+  // No overlap.
+  EXPECT_TRUE(a.base + a.size <= b.base || b.base + b.size <= a.base);
+}
+
+TEST(CostModelTest, RegionsRegistered) {
+  // Touch every engine component's region so they are all registered.
+  for (const CodeRegion& r :
+       {RegionSeqScan(), RegionIndexScan(), RegionFilter(), RegionProject(),
+        RegionHashBuild(), RegionHashProbe(), RegionNlJoin(), RegionSort(),
+        RegionAggregate(), RegionBufferPool(), RegionBtree(),
+        RegionLockMgr(), RegionTxn(), RegionCatalog(),
+        RegionStageRuntime()}) {
+    EXPECT_TRUE(r.valid());
+  }
+  // Aggregate engine instruction footprint far exceeds a 32KB L1I.
+  EXPECT_GT(CodeMap::Global().total_footprint(), 300u * 1024);
+}
+
+}  // namespace
+}  // namespace stagedcmp::trace

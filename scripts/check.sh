@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 build/test pass (Release) followed by an
+# ASan+UBSan Debug pass over the whole test suite.
+#
+#   scripts/check.sh              # both passes
+#   scripts/check.sh --tier1      # tier-1 only
+#   scripts/check.sh --sanitize   # sanitizer pass only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tier1=1
+run_sanitize=1
+case "${1:-}" in
+  --tier1) run_sanitize=0 ;;
+  --sanitize) run_tier1=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--tier1|--sanitize]" >&2; exit 2 ;;
+esac
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+if [[ $run_tier1 -eq 1 ]]; then
+  echo "==> tier-1: Release build + ctest"
+  cmake -B build -S .
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+fi
+
+if [[ $run_sanitize -eq 1 ]]; then
+  echo "==> sanitizers: Debug + ASan/UBSan build + ctest"
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DSTAGEDCMP_SANITIZE=ON
+  cmake --build build-asan -j "$jobs"
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure -j "$jobs"
+fi
+
+echo "==> all checks passed"

@@ -1,0 +1,104 @@
+// Golden determinism tests: the pipeline must be a pure function of its
+// seeds. Two Experiment runs over the same trace set compare byte-identical
+// at the stat-table level (hexfloat rendering, so bit-for-bit on doubles);
+// trace generation itself is deterministic up to heap placement, pinned via
+// an address-masked event skeleton (arenas are malloc-backed, so absolute
+// data addresses — and only those — may differ between factory instances).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scenario_util.h"
+
+namespace stagedcmp::scenario {
+namespace {
+
+harness::TraceSet BuildFromScratch(uint64_t seed, harness::WorkloadKind kind) {
+  harness::WorkloadFactory factory;
+  ApplyTinyScale(&factory);
+  harness::TraceSetConfig tc;
+  tc.workload = kind;
+  tc.clients = 4;
+  tc.requests_per_client = kind == harness::WorkloadKind::kOltp ? 4 : 1;
+  tc.seed = seed;
+  return factory.Build(tc);
+}
+
+// The golden contract: replaying one trace set twice — same seed, same
+// hardware — produces byte-identical stat tables, for every workload and
+// both hardware camps.
+TEST(GoldenDeterminismTest, TwoExperimentRunsByteIdenticalStatTables) {
+  for (Mix mix : {Mix::kOltp, Mix::kDss, Mix::kMixed}) {
+    const harness::TraceSet& traces = TraceCache::Get(mix,
+                                                      Executor::kUnstaged);
+    for (Hardware hw : {Hardware::kSmpFewFat, Hardware::kCmpManyLean}) {
+      harness::ExperimentConfig ec = HardwareConfig(hw);
+      const std::string golden = StatTable(harness::RunExperiment(ec, traces));
+      const std::string again = StatTable(harness::RunExperiment(ec, traces));
+      EXPECT_EQ(golden, again) << MixName(mix) << "/" << HardwareName(hw);
+      EXPECT_NE(golden.find("instructions"), std::string::npos);
+    }
+  }
+}
+
+// From-scratch trace generation — fresh factory, fresh databases — yields
+// the same event skeleton, instruction totals, and request counts for the
+// same seed.
+TEST(GoldenDeterminismTest, FreshFactorySameSeedSameSkeleton) {
+  for (auto kind :
+       {harness::WorkloadKind::kOltp, harness::WorkloadKind::kDss}) {
+    harness::TraceSet a = BuildFromScratch(9, kind);
+    harness::TraceSet b = BuildFromScratch(9, kind);
+    EXPECT_EQ(a.total_instructions, b.total_instructions)
+        << harness::WorkloadName(kind);
+    EXPECT_EQ(a.total_events, b.total_events) << harness::WorkloadName(kind);
+    EXPECT_EQ(EventSkeleton(a), EventSkeleton(b))
+        << harness::WorkloadName(kind);
+    ASSERT_EQ(a.traces.size(), b.traces.size());
+    for (size_t i = 0; i < a.traces.size(); ++i) {
+      EXPECT_EQ(a.traces[i].requests, b.traces[i].requests) << "client " << i;
+    }
+  }
+}
+
+TEST(GoldenDeterminismTest, DifferentSeedsDiverge) {
+  for (auto kind :
+       {harness::WorkloadKind::kOltp, harness::WorkloadKind::kDss}) {
+    harness::TraceSet a = BuildFromScratch(9, kind);
+    harness::TraceSet c = BuildFromScratch(10, kind);
+    EXPECT_NE(EventSkeleton(a), EventSkeleton(c))
+        << harness::WorkloadName(kind);
+  }
+}
+
+TEST(GoldenDeterminismTest, TraceBuildIsIndependentOfBuildOrder) {
+  // Building DSS before OLTP (or vice versa) must not perturb either:
+  // per-client tracers and seeds are fully isolated.
+  harness::WorkloadFactory forward;
+  ApplyTinyScale(&forward);
+  harness::WorkloadFactory reversed;
+  ApplyTinyScale(&reversed);
+
+  harness::TraceSetConfig oltp;
+  oltp.workload = harness::WorkloadKind::kOltp;
+  oltp.clients = 4;
+  oltp.requests_per_client = 4;
+  oltp.seed = 77;
+  harness::TraceSetConfig dss;
+  dss.workload = harness::WorkloadKind::kDss;
+  dss.clients = 2;
+  dss.requests_per_client = 1;
+  dss.seed = 78;
+
+  harness::TraceSet oltp_first = forward.Build(oltp);
+  harness::TraceSet dss_second = forward.Build(dss);
+  harness::TraceSet dss_first = reversed.Build(dss);
+  harness::TraceSet oltp_second = reversed.Build(oltp);
+
+  EXPECT_EQ(EventSkeleton(oltp_first), EventSkeleton(oltp_second));
+  EXPECT_EQ(EventSkeleton(dss_first), EventSkeleton(dss_second));
+}
+
+}  // namespace
+}  // namespace stagedcmp::scenario

@@ -8,50 +8,30 @@
 #include "common/table_printer.h"
 #include "coresim/cmp.h"
 #include "harness/experiment.h"
+#include "sweep/builtin_specs.h"
 
 namespace stagedcmp::benchutil {
 
 /// Standard scaled workload trace sets shared by the figure benches.
 /// Saturated sets provide >= 2x hardware contexts worth of clients.
+/// The configs themselves live in sweep/builtin_specs.h so the built-in
+/// sweep specs and the figure binaries can never drift apart.
 inline harness::TraceSet BuildOltpSaturated(harness::WorkloadFactory* f,
                                             uint32_t clients = 32) {
-  harness::TraceSetConfig tc;
-  tc.workload = harness::WorkloadKind::kOltp;
-  tc.clients = clients;
-  // Long traces: one loop over the trace set must touch far more unique
-  // data than the largest L2, or steady-state replay becomes artificially
-  // cache-resident.
-  tc.requests_per_client = 64;
-  tc.seed = 11;
-  return f->Build(tc);
+  return f->Build(sweep::OltpSaturatedConfig(clients));
 }
 
 inline harness::TraceSet BuildDssSaturated(harness::WorkloadFactory* f,
                                            uint32_t clients = 24) {
-  harness::TraceSetConfig tc;
-  tc.workload = harness::WorkloadKind::kDss;
-  tc.clients = clients;
-  tc.requests_per_client = 1;
-  tc.seed = 23;
-  return f->Build(tc);
+  return f->Build(sweep::DssSaturatedConfig(clients));
 }
 
 inline harness::TraceSet BuildOltpUnsaturated(harness::WorkloadFactory* f) {
-  harness::TraceSetConfig tc;
-  tc.workload = harness::WorkloadKind::kOltp;
-  tc.clients = 1;
-  tc.requests_per_client = 40;
-  tc.seed = 31;
-  return f->Build(tc);
+  return f->Build(sweep::OltpUnsaturatedConfig());
 }
 
 inline harness::TraceSet BuildDssUnsaturated(harness::WorkloadFactory* f) {
-  harness::TraceSetConfig tc;
-  tc.workload = harness::WorkloadKind::kDss;
-  tc.clients = 1;
-  tc.requests_per_client = 2;
-  tc.seed = 41;
-  return f->Build(tc);
+  return f->Build(sweep::DssUnsaturatedConfig());
 }
 
 /// Collapsed paper-style breakdown row: Computation / I / D / Other.

@@ -5,14 +5,20 @@
 // 1.95 -> 1.46) because long-latency coherence misses become shared-L2
 // hits and fast on-chip L1-to-L1 transfers; the L2-hit CPI component grows
 // ~7x in the transition.
+//
+// Thin wrapper over the sweep engine: the grid itself is the built-in
+// "fig7" spec (sweep_main --spec fig7 runs the same cells); this binary
+// only keeps the figure-specific table layout and the growth footer.
 #include "bench/bench_util.h"
+#include "sweep/builtin_specs.h"
+#include "sweep/runner.h"
 
 using namespace stagedcmp;
 
 int main() {
   harness::WorkloadFactory factory;
-  harness::TraceSet oltp = benchutil::BuildOltpSaturated(&factory);
-  harness::TraceSet dss = benchutil::BuildDssSaturated(&factory);
+  sweep::SweepRunner runner(&factory);
+  const sweep::SweepReport report = runner.Run(sweep::BuiltinSpec("fig7"));
 
   benchutil::PrintResultHeader(
       "Figure 7: SMP (4x private 4MB L2) vs CMP (shared 16MB L2), "
@@ -21,37 +27,24 @@ int main() {
                       "L2-hit", "other-D", "coh", "other"});
 
   double l2hit_cpi[2][2] = {};  // [workload][smp=0/cmp=1]
-  int wi = 0;
-  for (auto& [name, traces] :
-       std::vector<std::pair<std::string, harness::TraceSet*>>{
-           {"OLTP", &oltp}, {"DSS", &dss}}) {
-    for (int cmp = 0; cmp < 2; ++cmp) {
-      harness::ExperimentConfig ec;
-      ec.camp = coresim::Camp::kFat;
-      ec.cores = 4;
-      ec.saturated = true;
-      if (cmp) {
-        ec.topology = harness::Topology::kCmpShared;
-        ec.l2_bytes = 16ull << 20;
-      } else {
-        ec.topology = harness::Topology::kSmpPrivate;
-        ec.l2_bytes = 4ull << 20;  // per node
-      }
-      coresim::SimResult r = harness::RunExperiment(ec, *traces);
-      const double n = static_cast<double>(r.instructions);
-      l2hit_cpi[wi][cmp] = r.CpiComponent(coresim::Bucket::kDStallL2);
-      table.AddRow(
-          {name, cmp ? "CMP" : "SMP", TablePrinter::Num(r.cpi(), 2),
-           TablePrinter::Num(r.breakdown.computation() / n, 2),
-           TablePrinter::Num(r.breakdown.i_stalls() / n, 2),
-           TablePrinter::Num(r.CpiComponent(coresim::Bucket::kDStallL2), 3),
-           TablePrinter::Num(r.CpiComponent(coresim::Bucket::kDStallMem) +
-                                 r.CpiComponent(coresim::Bucket::kDStallL1),
-                             3),
-           TablePrinter::Num(r.CpiComponent(coresim::Bucket::kDStallCoh), 3),
-           TablePrinter::Num(r.breakdown.other() / n, 2)});
-    }
-    ++wi;
+  for (const sweep::CellResult& cr : report.cells) {
+    const coresim::SimResult& r = cr.result;
+    const std::string& workload = cr.cell.Value(report.axis_names, "workload");
+    const std::string& system = cr.cell.Value(report.axis_names, "system");
+    const int wi = workload == "OLTP" ? 0 : 1;
+    const int cmp = system == "CMP" ? 1 : 0;
+    const double n = static_cast<double>(r.instructions);
+    l2hit_cpi[wi][cmp] = r.CpiComponent(coresim::Bucket::kDStallL2);
+    table.AddRow(
+        {workload, system, TablePrinter::Num(r.cpi(), 2),
+         TablePrinter::Num(r.breakdown.computation() / n, 2),
+         TablePrinter::Num(r.breakdown.i_stalls() / n, 2),
+         TablePrinter::Num(r.CpiComponent(coresim::Bucket::kDStallL2), 3),
+         TablePrinter::Num(r.CpiComponent(coresim::Bucket::kDStallMem) +
+                               r.CpiComponent(coresim::Bucket::kDStallL1),
+                           3),
+         TablePrinter::Num(r.CpiComponent(coresim::Bucket::kDStallCoh), 3),
+         TablePrinter::Num(r.breakdown.other() / n, 2)});
   }
   table.Print();
 

@@ -6,48 +6,42 @@
 // ~74% of linear at 16 cores — not because of extra misses (the miss rate
 // *drops* with sharing) but because bursts of correlated misses queue on
 // finite L2 ports.
+//
+// Thin wrapper over the sweep engine: the grid itself is the built-in
+// "fig8" spec (sweep_main --spec fig8 runs the same cells); this binary
+// only keeps the figure-specific speedup-vs-linear table.
 #include "bench/bench_util.h"
+#include "sweep/builtin_specs.h"
+#include "sweep/runner.h"
 
 using namespace stagedcmp;
 
 int main() {
   harness::WorkloadFactory factory;
+  sweep::SweepRunner runner(&factory);
+  const sweep::SweepReport report = runner.Run(sweep::BuiltinSpec("fig8"));
 
   benchutil::PrintResultHeader(
       "Figure 8: throughput vs core count (FC CMP, shared 16MB L2)");
   TablePrinter table({"workload", "cores", "UIPC", "speedup vs 4",
                       "% of linear", "L2 hit rate", "avg queue delay"});
 
-  for (auto& [name, kind] :
-       std::vector<std::pair<std::string, harness::WorkloadKind>>{
-           {"OLTP", harness::WorkloadKind::kOltp},
-           {"DSS", harness::WorkloadKind::kDss}}) {
-    double base = 0.0;
-    for (uint32_t cores : {4u, 8u, 12u, 16u}) {
-      // Offered load scales with the machine (the paper's saturated
-      // condition: idle contexts always find a thread), keeping the
-      // per-context multiprogramming level constant across points.
-      harness::TraceSet traces =
-          kind == harness::WorkloadKind::kOltp
-              ? benchutil::BuildOltpSaturated(&factory, 3 * cores)
-              : benchutil::BuildDssSaturated(&factory, 3 * cores);
-      harness::ExperimentConfig ec;
-      ec.camp = coresim::Camp::kFat;
-      ec.cores = cores;
-      ec.l2_bytes = 16ull << 20;
-      ec.saturated = true;
-      ec.measure_instructions = 12'000'000ull * cores / 4;
-      coresim::SimResult r = harness::RunExperiment(ec, traces);
-      if (cores == 4) base = r.uipc();
-      const double speedup = r.uipc() / base;
-      const double linear = static_cast<double>(cores) / 4.0;
-      table.AddRow({name, std::to_string(cores),
-                    TablePrinter::Num(r.uipc(), 2),
-                    TablePrinter::Num(speedup, 2),
-                    TablePrinter::Pct(speedup / linear),
-                    TablePrinter::Pct(r.l2_hit_rate),
-                    TablePrinter::Num(r.mem.queue_delay.mean(), 1)});
-    }
+  // Cells arrive workload-major, cores ascending, so the 4-core cell of
+  // each workload is seen before its larger machines.
+  double base = 0.0;
+  for (const sweep::CellResult& cr : report.cells) {
+    const coresim::SimResult& r = cr.result;
+    const std::string& workload = cr.cell.Value(report.axis_names, "workload");
+    const uint32_t cores = cr.cell.exp.cores;
+    if (cores == 4) base = r.uipc();
+    const double speedup = r.uipc() / base;
+    const double linear = static_cast<double>(cores) / 4.0;
+    table.AddRow({workload, std::to_string(cores),
+                  TablePrinter::Num(r.uipc(), 2),
+                  TablePrinter::Num(speedup, 2),
+                  TablePrinter::Pct(speedup / linear),
+                  TablePrinter::Pct(r.l2_hit_rate),
+                  TablePrinter::Num(r.mem.queue_delay.mean(), 1)});
   }
   table.Print();
   std::printf("\npaper: DSS ~+9%% superlinear at 8 cores; OLTP ~74%% of "

@@ -1,0 +1,160 @@
+// Unified sweep driver: runs any built-in experiment grid in parallel
+// and emits results through a pluggable sink.
+//
+//   sweep_main --spec fig7                     # human table to stdout
+//   sweep_main --spec fig8 --threads 8         # parallel cells
+//   sweep_main --spec smoke --format json --deterministic
+//   sweep_main --spec smoke --golden           # process-invariant JSON
+//   sweep_main --spec smoke --perf-out BENCH_sweep.json
+//   sweep_main --list
+//
+// --deterministic omits all timing fields so the JSON/CSV bytes depend
+// only on the spec and the simulation — identical for any --threads
+// value within a process. --golden further restricts the JSON to fields
+// that are byte-stable across processes (grid, configs, trace-set
+// totals; the simulated metrics shift with heap placement), which is
+// what scripts/check.sh diffs against tests/golden/sweep_smoke.json.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sweep/builtin_specs.h"
+#include "sweep/runner.h"
+#include "sweep/sinks.h"
+
+using namespace stagedcmp;
+
+namespace {
+
+int Usage(const char* argv0, int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: %s --spec NAME [--threads N] [--format table|json|csv]\n"
+      "          [--out FILE] [--perf-out FILE] [--deterministic]\n"
+      "       %s --list\n"
+      "\n"
+      "  --spec NAME       built-in grid to run (see --list)\n"
+      "  --threads N       simulation worker threads (default: hardware)\n"
+      "  --format F        result sink: table (default), json, csv\n"
+      "  --out FILE        write results to FILE instead of stdout\n"
+      "  --perf-out FILE   also write a BENCH_sweep.json perf summary\n"
+      "  --deterministic   omit timing fields from json/csv output\n"
+      "  --golden          process-invariant JSON (for golden diffs)\n",
+      argv0, argv0);
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_name;
+  std::string format;  // empty = default (table; json under --golden)
+  std::string out_path;
+  std::string perf_path;
+  uint32_t threads = 0;
+  bool deterministic = false;
+  bool golden = false;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(Usage(argv[0], 2));
+      }
+      return argv[++i];
+    };
+    if (arg == "--spec") {
+      spec_name = value("--spec");
+    } else if (arg == "--threads") {
+      const char* v = value("--threads");
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v, &end, 10);
+      if (*v == '\0' || *end != '\0' || *v == '-' || n > 4096) {
+        std::fprintf(stderr, "--threads must be a number in [0, 4096], "
+                             "got '%s'\n", v);
+        return 2;
+      }
+      threads = static_cast<uint32_t>(n);
+    } else if (arg == "--format") {
+      format = value("--format");
+    } else if (arg == "--out") {
+      out_path = value("--out");
+    } else if (arg == "--perf-out") {
+      perf_path = value("--perf-out");
+    } else if (arg == "--deterministic") {
+      deterministic = true;
+    } else if (arg == "--golden") {
+      golden = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return Usage(argv[0], 2);
+    }
+  }
+
+  if (list) {
+    for (const std::string& name : sweep::BuiltinSpecNames()) {
+      const sweep::SweepSpec spec = sweep::BuiltinSpec(name);
+      std::printf("%-6s %4zu cells  %s\n", name.c_str(),
+                  spec.CrossProductSize(), spec.description().c_str());
+    }
+    return 0;
+  }
+
+  if (spec_name.empty()) return Usage(argv[0], 2);
+  if (!sweep::HasBuiltinSpec(spec_name)) {
+    std::fprintf(stderr, "unknown spec '%s'; try --list\n",
+                 spec_name.c_str());
+    return 2;
+  }
+  std::unique_ptr<sweep::ResultSink> sink;
+  if (golden) {
+    if (!format.empty() && format != "json") {
+      std::fprintf(stderr, "--golden implies --format json\n");
+      return 2;
+    }
+    sink = std::make_unique<sweep::JsonSink>(/*include_timing=*/false,
+                                             /*golden=*/true);
+  } else {
+    if (format.empty()) format = "table";
+    sink = sweep::MakeSink(format, /*include_timing=*/!deterministic);
+  }
+  if (!sink) {
+    std::fprintf(stderr, "unknown format '%s' (table|json|csv)\n",
+                 format.c_str());
+    return 2;
+  }
+
+  harness::WorkloadFactory factory;
+  sweep::SweepRunner runner(&factory, sweep::RunnerOptions{threads});
+  const sweep::SweepReport report = runner.Run(sweep::BuiltinSpec(spec_name));
+
+  if (out_path.empty()) {
+    sink->Emit(report, std::cout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s'\n", out_path.c_str());
+      return 1;
+    }
+    sink->Emit(report, out);
+  }
+
+  if (!perf_path.empty()) {
+    std::ofstream perf(perf_path);
+    if (!perf) {
+      std::fprintf(stderr, "cannot open '%s'\n", perf_path.c_str());
+      return 1;
+    }
+    sweep::EmitPerfSummary(report, perf);
+  }
+  return 0;
+}

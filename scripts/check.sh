@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Full verification: the tier-1 build/test pass (Release) followed by an
-# ASan+UBSan Debug pass over the whole test suite.
+# ASan+UBSan Debug pass over the whole test suite. Both passes also run
+# the sweep engine's smoke grid: the tier-1 pass emits the
+# BENCH_sweep.json perf trajectory (cells/sec, wall-clock), the
+# sanitizer pass diffs the process-invariant --golden JSON against
+# tests/golden/sweep_smoke.json.
 #
 #   scripts/check.sh              # both passes
 #   scripts/check.sh --tier1      # tier-1 only
@@ -25,6 +29,12 @@ if [[ $run_tier1 -eq 1 ]]; then
   cmake -B build -S .
   cmake --build build -j "$jobs"
   ctest --test-dir build --output-on-failure -j "$jobs"
+
+  echo "==> sweep smoke grid: golden diff + BENCH_sweep.json trajectory"
+  ./build/bench/sweep_main --spec smoke --threads 4 --golden \
+    --out build/sweep_smoke_golden.json --perf-out BENCH_sweep.json
+  diff -u tests/golden/sweep_smoke.json build/sweep_smoke_golden.json
+  cat BENCH_sweep.json
 fi
 
 if [[ $run_sanitize -eq 1 ]]; then
@@ -35,6 +45,12 @@ if [[ $run_sanitize -eq 1 ]]; then
   cmake --build build-asan -j "$jobs"
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+  echo "==> sweep smoke grid under ASan/UBSan: golden diff"
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ./build-asan/bench/sweep_main --spec smoke --threads 4 --golden \
+      --out build-asan/sweep_smoke_golden.json
+  diff -u tests/golden/sweep_smoke.json build-asan/sweep_smoke_golden.json
 fi
 
 echo "==> all checks passed"

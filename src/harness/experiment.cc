@@ -11,18 +11,18 @@ const char* WorkloadName(WorkloadKind w) {
 }
 
 workload::Database* WorkloadFactory::oltp_db() {
-  if (!oltp_db_) {
+  std::call_once(oltp_once_, [this] {
     oltp_db_ = std::make_unique<workload::Database>();
     workload::TpccLoad(oltp_db_.get(), tpcc_config);
-  }
+  });
   return oltp_db_.get();
 }
 
 workload::Database* WorkloadFactory::dss_db() {
-  if (!dss_db_) {
+  std::call_once(dss_once_, [this] {
     dss_db_ = std::make_unique<workload::Database>();
     workload::TpchLoad(dss_db_.get(), tpch_config);
-  }
+  });
   return dss_db_.get();
 }
 
@@ -80,6 +80,9 @@ TraceSet WorkloadFactory::Build(const TraceSetConfig& config) {
     out.total_instructions += out.traces.back().total_instructions;
     out.total_events += out.traces.back().events.size();
   }
+  // Warm the pointer cache so a shared (immutable) set never populates it
+  // lazily from concurrent replay threads.
+  out.Pointers();
   return out;
 }
 

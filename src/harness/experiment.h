@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,17 +43,50 @@ struct TraceSet {
   uint64_t total_instructions = 0;
   uint64_t total_events = 0;
 
-  std::vector<const trace::ClientTrace*> Pointers() const {
-    std::vector<const trace::ClientTrace*> out;
-    out.reserve(traces.size());
-    for (const auto& t : traces) out.push_back(&t);
-    return out;
+  /// Per-client trace pointers in client order. Cached: rebuilding the
+  /// vector on every RunExperiment call was a measurable allocation when
+  /// one shared TraceSet feeds many sweep cells. The cache keys on
+  /// (traces.data(), traces.size()), so it survives moves (vector moves
+  /// keep the heap buffer) and self-invalidates when traces are added or
+  /// the buffer reallocates.
+  ///
+  /// Thread-safety: the first call populates the cache and must not race
+  /// with other calls; WorkloadFactory::Build and the sweep TraceSetCache
+  /// warm it before a TraceSet is shared, after which concurrent calls
+  /// are pure reads.
+  const std::vector<const trace::ClientTrace*>& Pointers() const {
+    if (pointer_cache_key_ != traces.data() ||
+        pointer_cache_.size() != traces.size()) {
+      pointer_cache_.clear();
+      pointer_cache_.reserve(traces.size());
+      for (const auto& t : traces) pointer_cache_.push_back(&t);
+      pointer_cache_key_ = traces.data();
+    }
+    return pointer_cache_;
   }
+
+ private:
+  mutable std::vector<const trace::ClientTrace*> pointer_cache_;
+  mutable const trace::ClientTrace* pointer_cache_key_ = nullptr;
 };
 
 /// Builds (and owns) workload databases, generating trace sets on demand.
 /// Databases are built once and reused across trace sets; traces are
-/// deterministic in (workload, seed, client id).
+/// deterministic in (workload, seed, client id) *given the database
+/// state*, which OLTP trace generation itself advances (transactions
+/// commit into the shared database), so traces also depend on the order
+/// of prior Build calls.
+///
+/// Thread-safety contract:
+///   * oltp_db() / dss_db() may be called concurrently: lazy database
+///     construction runs exactly once behind a std::once_flag.
+///   * Build() is NOT safe to call concurrently — it mutates the shared
+///     databases (OLTP) and the process-global trace::CodeMap code-region
+///     registry. Callers must serialize Build calls; the sweep
+///     TraceSetCache does so (and in deterministic order) for parallel
+///     sweeps.
+///   * A fully-built TraceSet is immutable and safe to share across any
+///     number of concurrently-running simulations.
 class WorkloadFactory {
  public:
   WorkloadFactory() = default;
@@ -67,6 +101,8 @@ class WorkloadFactory {
   workload::Database* dss_db();
 
  private:
+  std::once_flag oltp_once_;
+  std::once_flag dss_once_;
   std::unique_ptr<workload::Database> oltp_db_;
   std::unique_ptr<workload::Database> dss_db_;
 };

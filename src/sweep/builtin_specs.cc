@@ -1,0 +1,207 @@
+#include "sweep/builtin_specs.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stagedcmp::sweep {
+
+harness::TraceSetConfig OltpSaturatedConfig(uint32_t clients) {
+  harness::TraceSetConfig tc;
+  tc.workload = harness::WorkloadKind::kOltp;
+  tc.clients = clients;
+  // Long traces: one loop over the trace set must touch far more unique
+  // data than the largest L2, or steady-state replay becomes artificially
+  // cache-resident.
+  tc.requests_per_client = 64;
+  tc.seed = 11;
+  return tc;
+}
+
+harness::TraceSetConfig DssSaturatedConfig(uint32_t clients) {
+  harness::TraceSetConfig tc;
+  tc.workload = harness::WorkloadKind::kDss;
+  tc.clients = clients;
+  tc.requests_per_client = 1;
+  tc.seed = 23;
+  return tc;
+}
+
+harness::TraceSetConfig OltpUnsaturatedConfig() {
+  harness::TraceSetConfig tc;
+  tc.workload = harness::WorkloadKind::kOltp;
+  tc.clients = 1;
+  tc.requests_per_client = 40;
+  tc.seed = 31;
+  return tc;
+}
+
+harness::TraceSetConfig DssUnsaturatedConfig() {
+  harness::TraceSetConfig tc;
+  tc.workload = harness::WorkloadKind::kDss;
+  tc.clients = 1;
+  tc.requests_per_client = 2;
+  tc.seed = 41;
+  return tc;
+}
+
+namespace {
+
+using AxisValue = SweepSpec::AxisValue;
+
+/// Workload axis over the saturated trace sets (fig6/fig7 shape).
+std::vector<AxisValue> SaturatedWorkloadAxis() {
+  return {
+      {"OLTP", [](Cell& c) { c.trace = OltpSaturatedConfig(); }},
+      {"DSS", [](Cell& c) { c.trace = DssSaturatedConfig(); }},
+  };
+}
+
+SweepSpec MakeSmoke() {
+  SweepSpec spec("smoke",
+                 "tiny 2x2 {OLTP,DSS} x {FC,LC} grid for CI and perf "
+                 "trajectories — small traces, short measurement window");
+  spec.base_exp.cores = 2;
+  spec.base_exp.l2_bytes = 4ull << 20;
+  spec.base_exp.saturated = true;
+  spec.base_exp.measure_instructions = 1'500'000;
+  spec.base_exp.warmup_instructions = 500'000;
+  spec.AddAxis("workload",
+               {{"OLTP",
+                 [](Cell& c) {
+                   c.trace.workload = harness::WorkloadKind::kOltp;
+                   c.trace.clients = 4;
+                   c.trace.requests_per_client = 8;
+                   c.trace.seed = 7;
+                 }},
+                {"DSS",
+                 [](Cell& c) {
+                   c.trace.workload = harness::WorkloadKind::kDss;
+                   c.trace.clients = 4;
+                   c.trace.requests_per_client = 1;
+                   c.trace.seed = 7;
+                 }}});
+  spec.AddAxis("camp",
+               {{"FC", [](Cell& c) { c.exp.camp = coresim::Camp::kFat; }},
+                {"LC", [](Cell& c) { c.exp.camp = coresim::Camp::kLean; }}});
+  return spec;
+}
+
+SweepSpec MakeFig4() {
+  SweepSpec spec("fig4",
+                 "LC vs FC: response time unsaturated, throughput "
+                 "saturated ({unsat,sat} x {OLTP,DSS} x {FC,LC})");
+  spec.base_exp.cores = 4;
+  spec.base_exp.l2_bytes = 26ull << 20;
+  spec.AddAxis("load",
+               {{"unsat", [](Cell& c) { c.exp.saturated = false; }},
+                {"sat", [](Cell& c) { c.exp.saturated = true; }}});
+  // The workload mutator branches on the load axis (set above it).
+  spec.AddAxis(
+      "workload",
+      {{"OLTP",
+        [](Cell& c) {
+          c.trace = c.exp.saturated ? OltpSaturatedConfig()
+                                    : OltpUnsaturatedConfig();
+        }},
+       {"DSS",
+        [](Cell& c) {
+          c.trace = c.exp.saturated ? DssSaturatedConfig()
+                                    : DssUnsaturatedConfig();
+        }}});
+  spec.AddAxis("camp",
+               {{"FC", [](Cell& c) { c.exp.camp = coresim::Camp::kFat; }},
+                {"LC", [](Cell& c) { c.exp.camp = coresim::Camp::kLean; }}});
+  return spec;
+}
+
+SweepSpec MakeFig6() {
+  SweepSpec spec("fig6",
+                 "throughput and CPI contributions vs L2 size "
+                 "({OLTP,DSS} x {fixed4,realistic} x {1..26MB})");
+  spec.base_exp.camp = coresim::Camp::kFat;
+  spec.base_exp.cores = 4;
+  spec.base_exp.saturated = true;
+  spec.AddAxis("workload", SaturatedWorkloadAxis());
+  spec.AddAxis(
+      "latency",
+      {{"const4",
+        [](Cell& c) { c.exp.latency = harness::LatencyMode::kFixed4; }},
+       {"real",
+        [](Cell& c) { c.exp.latency = harness::LatencyMode::kRealistic; }}});
+  std::vector<AxisValue> sizes;
+  for (uint64_t mb : {1, 2, 4, 8, 16, 26}) {
+    sizes.push_back({std::to_string(mb) + "MB",
+                     [mb](Cell& c) { c.exp.l2_bytes = mb << 20; }});
+  }
+  spec.AddAxis("l2", std::move(sizes));
+  return spec;
+}
+
+SweepSpec MakeFig7() {
+  SweepSpec spec("fig7",
+                 "SMP (4x private 4MB L2, MESI) vs CMP (shared 16MB L2), "
+                 "saturated, FC cores");
+  spec.base_exp.camp = coresim::Camp::kFat;
+  spec.base_exp.cores = 4;
+  spec.base_exp.saturated = true;
+  spec.AddAxis("workload", SaturatedWorkloadAxis());
+  spec.AddAxis("system",
+               {{"SMP",
+                 [](Cell& c) {
+                   c.exp.topology = harness::Topology::kSmpPrivate;
+                   c.exp.l2_bytes = 4ull << 20;  // per node
+                 }},
+                {"CMP",
+                 [](Cell& c) {
+                   c.exp.topology = harness::Topology::kCmpShared;
+                   c.exp.l2_bytes = 16ull << 20;
+                 }}});
+  return spec;
+}
+
+SweepSpec MakeFig8() {
+  SweepSpec spec("fig8",
+                 "throughput vs core count (FC CMP, shared 16MB L2), "
+                 "offered load scales with the machine");
+  spec.base_exp.camp = coresim::Camp::kFat;
+  spec.base_exp.l2_bytes = 16ull << 20;
+  spec.base_exp.saturated = true;
+  spec.AddAxis("workload", SaturatedWorkloadAxis());
+  std::vector<AxisValue> cores;
+  for (uint32_t n : {4u, 8u, 12u, 16u}) {
+    cores.push_back({std::to_string(n), [n](Cell& c) {
+                       // Saturated condition: idle contexts always find a
+                       // thread, constant multiprogramming per context.
+                       c.exp.cores = n;
+                       c.exp.measure_instructions = 12'000'000ull * n / 4;
+                       c.trace.clients = 3 * n;
+                     }});
+  }
+  spec.AddAxis("cores", std::move(cores));
+  return spec;
+}
+
+}  // namespace
+
+std::vector<std::string> BuiltinSpecNames() {
+  return {"smoke", "fig4", "fig6", "fig7", "fig8"};
+}
+
+bool HasBuiltinSpec(const std::string& name) {
+  for (const std::string& n : BuiltinSpecNames()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+SweepSpec BuiltinSpec(const std::string& name) {
+  if (name == "smoke") return MakeSmoke();
+  if (name == "fig4") return MakeFig4();
+  if (name == "fig6") return MakeFig6();
+  if (name == "fig7") return MakeFig7();
+  if (name == "fig8") return MakeFig8();
+  std::fprintf(stderr, "unknown builtin sweep spec '%s'\n", name.c_str());
+  std::abort();
+}
+
+}  // namespace stagedcmp::sweep

@@ -1,0 +1,38 @@
+// Built-in sweep specs reproducing the paper's figure grids, plus the
+// canonical trace-set configurations the figure benches share. The
+// bench binaries (bench/bench_util.h) delegate to the *Config functions
+// below so a figure binary and its sweep spec can never drift apart.
+#ifndef STAGEDCMP_SWEEP_BUILTIN_SPECS_H_
+#define STAGEDCMP_SWEEP_BUILTIN_SPECS_H_
+
+#include <string>
+#include <vector>
+
+#include "sweep/spec.h"
+
+namespace stagedcmp::sweep {
+
+/// Canonical saturated/unsaturated workload trace configs (the exact
+/// client counts, request counts and seeds the figure benches use).
+harness::TraceSetConfig OltpSaturatedConfig(uint32_t clients = 32);
+harness::TraceSetConfig DssSaturatedConfig(uint32_t clients = 24);
+harness::TraceSetConfig OltpUnsaturatedConfig();
+harness::TraceSetConfig DssUnsaturatedConfig();
+
+/// Names accepted by BuiltinSpec, in presentation order:
+///   smoke — tiny 2x2 grid for CI golden-diff and perf trajectory
+///   fig4  — {unsat,sat} x {OLTP,DSS} x {FC,LC} camp comparison
+///   fig6  — {OLTP,DSS} x {fixed4,realistic} x L2 {1..26MB}
+///   fig7  — {OLTP,DSS} x {SMP private 4MB, CMP shared 16MB}
+///   fig8  — {OLTP,DSS} x cores {4,8,12,16} (load scales with cores)
+std::vector<std::string> BuiltinSpecNames();
+
+bool HasBuiltinSpec(const std::string& name);
+
+/// Returns the named spec; aborts on unknown names (check
+/// HasBuiltinSpec first when the name is user input).
+SweepSpec BuiltinSpec(const std::string& name);
+
+}  // namespace stagedcmp::sweep
+
+#endif  // STAGEDCMP_SWEEP_BUILTIN_SPECS_H_

@@ -1,0 +1,130 @@
+#include "sweep/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "sweep/trace_cache.h"
+
+namespace stagedcmp::sweep {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+SweepReport SweepRunner::Run(const SweepSpec& spec) {
+  const auto run_t0 = std::chrono::steady_clock::now();
+
+  SweepReport report;
+  report.spec_name = spec.name();
+  report.axis_names = spec.axis_names();
+
+  std::vector<Cell> cells = spec.Expand();
+  report.cells.resize(cells.size());
+
+  TraceSetCache private_cache(factory_);
+  TraceSetCache& cache = shared_cache_ ? *shared_cache_ : private_cache;
+  const uint64_t builds_before = cache.stats().builds;
+
+  uint32_t threads = options_.threads;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (threads > cells.size() && !cells.empty()) {
+    threads = static_cast<uint32_t>(cells.size());
+  }
+  report.threads = cells.empty() ? 0 : threads;
+
+  // Builder/worker pipeline. One dedicated builder thread constructs the
+  // trace sets serially in canonical cell order (trace generation mutates
+  // the workload databases and the global code-region map, and its order
+  // changes the traces — see trace_cache.h — so it must stay serial and
+  // ordered). Sim workers claim cells off an atomic counter and wait for
+  // their cell's trace set to be published, so early cells simulate while
+  // later sets still build: replay only reads immutable TraceSets, never
+  // the factory or the code map. Results land at their cell's canonical
+  // index, keeping output identical for any thread count.
+  std::vector<const harness::TraceSet*> traces(cells.size(), nullptr);
+  std::mutex build_mu;
+  std::condition_variable build_cv;
+  size_t built = 0;  // cells[0..built) have their trace set published
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  auto record_error = [&] {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!first_error) first_error = std::current_exception();
+  };
+
+  auto builder = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < cells.size(); ++i) {
+      bool failed = false;
+      try {
+        const harness::TraceSet* ts = &cache.Get(cells[i].trace);
+        std::lock_guard<std::mutex> lock(build_mu);
+        traces[i] = ts;
+        built = i + 1;
+      } catch (...) {
+        record_error();
+        failed = true;
+        std::lock_guard<std::mutex> lock(build_mu);
+        built = cells.size();  // release all waiters; their slots stay null
+      }
+      build_cv.notify_all();
+      if (failed) break;
+    }
+    report.build_wall_seconds = SecondsSince(t0);
+  };
+
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) break;
+      {
+        std::unique_lock<std::mutex> lock(build_mu);
+        build_cv.wait(lock, [&] { return built > i; });
+        if (traces[i] == nullptr) continue;  // build failed; drain
+      }
+      try {
+        const auto t0 = std::chrono::steady_clock::now();
+        CellResult& out = report.cells[i];
+        out.cell = cells[i];
+        out.trace_total_instructions = traces[i]->total_instructions;
+        out.trace_total_events = traces[i]->total_events;
+        out.result = harness::RunExperiment(cells[i].exp, *traces[i], &out.hw);
+        out.sim_wall_seconds = SecondsSince(t0);
+      } catch (...) {
+        record_error();
+        // Keep draining the counter so siblings can finish cleanly.
+      }
+    }
+  };
+
+  const auto sim_t0 = std::chrono::steady_clock::now();
+  if (!cells.empty()) {
+    std::thread build_thread(builder);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    build_thread.join();
+  }
+  report.sim_wall_seconds = SecondsSince(sim_t0);
+  report.wall_seconds = SecondsSince(run_t0);
+  report.trace_sets_built = cache.stats().builds - builds_before;
+
+  if (first_error) std::rethrow_exception(first_error);
+  return report;
+}
+
+}  // namespace stagedcmp::sweep

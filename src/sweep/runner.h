@@ -1,0 +1,95 @@
+// Parallel sweep execution. A SweepRunner expands a SweepSpec and runs
+// its cells as a builder/worker pipeline: one dedicated builder thread
+// constructs trace sets serially in canonical cell order while a pool of
+// sim workers pulls cells off a shared atomic counter (idle workers
+// "steal" the next unclaimed cell, so load imbalance between cheap and
+// expensive cells self-corrects) — early cells simulate while later
+// trace sets are still building.
+//
+// Determinism: results are identical — byte for byte once serialized —
+// for any thread count. Two properties make that true:
+//   1. Trace-set construction stays serial and in canonical cell order
+//      on the builder thread (trace generation mutates the workload
+//      databases and the global code-region map, so build ORDER changes
+//      the traces; see trace_cache.h). Workers only replay immutable,
+//      already-published TraceSets.
+//   2. Each worker writes its cell's result into a slot preallocated at
+//      the cell's canonical index, so output order never depends on
+//      completion order.
+#ifndef STAGEDCMP_SWEEP_RUNNER_H_
+#define STAGEDCMP_SWEEP_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coresim/cmp.h"
+#include "harness/experiment.h"
+#include "sweep/spec.h"
+
+namespace stagedcmp::sweep {
+
+class TraceSetCache;
+
+struct RunnerOptions {
+  /// Worker threads for the simulation phase; 0 = hardware concurrency.
+  uint32_t threads = 0;
+};
+
+/// One executed cell: the cell itself plus everything measured.
+struct CellResult {
+  Cell cell;
+  coresim::SimResult result;
+  harness::ResolvedHardware hw;
+  /// Skeleton totals of the cell's (shared) trace set. Unlike the
+  /// simulated metrics these are independent of heap placement, so they
+  /// are stable across processes and belong in checked-in goldens.
+  uint64_t trace_total_instructions = 0;
+  uint64_t trace_total_events = 0;
+  double sim_wall_seconds = 0.0;  ///< this cell's simulation wall-clock
+};
+
+/// A completed sweep, in canonical cell order.
+struct SweepReport {
+  std::string spec_name;
+  std::vector<std::string> axis_names;
+  uint32_t threads = 1;            ///< sim workers actually used
+  double build_wall_seconds = 0.0; ///< builder thread (overlaps the sims)
+  double sim_wall_seconds = 0.0;   ///< builder+worker pipeline wall-clock
+  double wall_seconds = 0.0;       ///< end-to-end Run() wall-clock
+  uint64_t trace_sets_built = 0;   ///< distinct TraceSetConfigs built
+  std::vector<CellResult> cells;
+
+  double cells_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(cells.size()) / wall_seconds
+               : 0.0;
+  }
+};
+
+class SweepRunner {
+ public:
+  /// `shared_cache` (optional) lets several sweeps — or a sweep and
+  /// direct RunExperiment calls — replay the *same* TraceSet instances.
+  /// That is what makes results bit-comparable: traces embed heap
+  /// addresses, so only same-instance replays are bit-deterministic
+  /// (see tests/test_determinism.cc). With no shared cache the runner
+  /// uses a private one per Run call.
+  explicit SweepRunner(harness::WorkloadFactory* factory,
+                       RunnerOptions options = {},
+                       TraceSetCache* shared_cache = nullptr)
+      : factory_(factory), options_(options), shared_cache_(shared_cache) {}
+
+  /// Expands and executes the spec. Exceptions thrown by a worker are
+  /// rethrown on the calling thread after all workers join.
+  SweepReport Run(const SweepSpec& spec);
+
+ private:
+  harness::WorkloadFactory* factory_;
+  RunnerOptions options_;
+  TraceSetCache* shared_cache_;
+};
+
+}  // namespace stagedcmp::sweep
+
+#endif  // STAGEDCMP_SWEEP_RUNNER_H_

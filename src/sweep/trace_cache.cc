@@ -1,0 +1,48 @@
+#include "sweep/trace_cache.h"
+
+#include <utility>
+
+namespace stagedcmp::sweep {
+
+TraceSetCache::Key TraceSetCache::MakeKey(const harness::TraceSetConfig& c) {
+  return Key(static_cast<uint8_t>(c.workload), c.clients,
+             c.requests_per_client, c.seed, static_cast<uint8_t>(c.engine));
+}
+
+const harness::TraceSet& TraceSetCache::Get(
+    const harness::TraceSetConfig& config) {
+  const Key key = MakeKey(config);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return *it->second;
+    }
+  }
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // Lost the race to another builder between the two locks.
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return *it->second;
+  }
+  auto built = std::make_unique<harness::TraceSet>(factory_->Build(config));
+  // Warm the pointer cache while still exclusive, so concurrent readers
+  // only ever see the (const) pre-populated fast path.
+  built->Pointers();
+  ++builds_;
+  it = cache_.emplace(key, std::move(built)).first;
+  return *it->second;
+}
+
+TraceSetCache::Stats TraceSetCache::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.builds = builds_;
+  return s;
+}
+
+}  // namespace stagedcmp::sweep

@@ -1,0 +1,64 @@
+// Shared trace-set cache: builds each distinct TraceSetConfig exactly once
+// and hands out references to immutable TraceSets shared across sweep
+// cells (and threads).
+//
+// Thread-safety contract:
+//   * Get() may be called concurrently from any number of threads; lookups
+//     take a shared lock, builds take the exclusive lock.
+//   * Builds are fully serialized under the exclusive lock. This is a
+//     correctness requirement, not just simplicity: trace generation
+//     mutates shared state (the factory's workload databases — OLTP
+//     transactions commit into them — and the process-global
+//     trace::CodeMap registry), so two builds must never overlap.
+//   * The ORDER in which distinct configs are first built still changes
+//     the traces (database state and code-region layout evolve build to
+//     build). Callers that need run-to-run determinism must warm the
+//     cache in a deterministic order — SweepRunner does this by building
+//     in canonical cell order before the parallel phase.
+//   * Returned references stay valid for the cache's lifetime (entries
+//     are heap-allocated and never evicted).
+#ifndef STAGEDCMP_SWEEP_TRACE_CACHE_H_
+#define STAGEDCMP_SWEEP_TRACE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <tuple>
+
+#include "harness/experiment.h"
+
+namespace stagedcmp::sweep {
+
+class TraceSetCache {
+ public:
+  explicit TraceSetCache(harness::WorkloadFactory* factory)
+      : factory_(factory) {}
+
+  TraceSetCache(const TraceSetCache&) = delete;
+  TraceSetCache& operator=(const TraceSetCache&) = delete;
+
+  /// Returns the trace set for `config`, building it on first request.
+  const harness::TraceSet& Get(const harness::TraceSetConfig& config);
+
+  struct Stats {
+    uint64_t hits = 0;    ///< Get() calls served from the cache
+    uint64_t builds = 0;  ///< distinct configs actually built
+  };
+  Stats stats() const;
+
+ private:
+  using Key = std::tuple<uint8_t, uint32_t, uint32_t, uint64_t, uint8_t>;
+  static Key MakeKey(const harness::TraceSetConfig& c);
+
+  harness::WorkloadFactory* factory_;
+  mutable std::shared_mutex mu_;
+  std::map<Key, std::unique_ptr<harness::TraceSet>> cache_;
+  std::atomic<uint64_t> hits_{0};  ///< bumped under the shared lock
+  uint64_t builds_ = 0;            ///< guarded by the exclusive lock
+};
+
+}  // namespace stagedcmp::sweep
+
+#endif  // STAGEDCMP_SWEEP_TRACE_CACHE_H_

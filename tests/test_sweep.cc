@@ -1,0 +1,263 @@
+// Sweep engine: spec expansion, trace-set cache sharing, parallel runner
+// determinism (thread-count invariance, byte-identical serialized
+// output), and equivalence with direct RunExperiment calls.
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sweep/builtin_specs.h"
+#include "sweep/runner.h"
+#include "sweep/sinks.h"
+#include "sweep/spec.h"
+#include "sweep/trace_cache.h"
+
+namespace stagedcmp {
+namespace {
+
+// Small 2x2x2 grid: cheap enough to simulate many times (also under
+// ASan) while still covering both workloads, camps and topologies.
+sweep::SweepSpec TinySpec() {
+  sweep::SweepSpec spec("tiny", "2x2x2 test grid");
+  spec.base_exp.cores = 2;
+  spec.base_exp.l2_bytes = 1ull << 20;
+  spec.base_exp.saturated = true;
+  spec.base_exp.measure_instructions = 400'000;
+  spec.base_exp.warmup_instructions = 100'000;
+  spec.AddAxis("workload",
+               {{"OLTP",
+                 [](sweep::Cell& c) {
+                   c.trace.workload = harness::WorkloadKind::kOltp;
+                   c.trace.clients = 2;
+                   c.trace.requests_per_client = 4;
+                   c.trace.seed = 5;
+                 }},
+                {"DSS",
+                 [](sweep::Cell& c) {
+                   c.trace.workload = harness::WorkloadKind::kDss;
+                   c.trace.clients = 2;
+                   c.trace.requests_per_client = 1;
+                   c.trace.seed = 5;
+                 }}});
+  spec.AddAxis(
+      "camp",
+      {{"FC", [](sweep::Cell& c) { c.exp.camp = coresim::Camp::kFat; }},
+       {"LC", [](sweep::Cell& c) { c.exp.camp = coresim::Camp::kLean; }}});
+  spec.AddAxis(
+      "system",
+      {{"CMP",
+        [](sweep::Cell& c) {
+          c.exp.topology = harness::Topology::kCmpShared;
+        }},
+       {"SMP", [](sweep::Cell& c) {
+          c.exp.topology = harness::Topology::kSmpPrivate;
+        }}});
+  return spec;
+}
+
+TEST(SweepSpec, TwoByTwoByTwoExpandsToEightCells) {
+  const sweep::SweepSpec spec = TinySpec();
+  EXPECT_EQ(spec.CrossProductSize(), 8u);
+  const std::vector<sweep::Cell> cells = spec.Expand();
+  ASSERT_EQ(cells.size(), 8u);
+
+  // Odometer order: first axis outermost, dense indices.
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    ASSERT_EQ(cells[i].values.size(), 3u);
+    EXPECT_EQ(cells[i].values[0], i < 4 ? "OLTP" : "DSS");
+    EXPECT_EQ(cells[i].values[1], (i / 2) % 2 == 0 ? "FC" : "LC");
+    EXPECT_EQ(cells[i].values[2], i % 2 == 0 ? "CMP" : "SMP");
+  }
+  // Mutators actually landed in the configs.
+  EXPECT_EQ(cells[0].trace.workload, harness::WorkloadKind::kOltp);
+  EXPECT_EQ(cells[7].trace.workload, harness::WorkloadKind::kDss);
+  EXPECT_EQ(cells[2].exp.camp, coresim::Camp::kLean);
+  EXPECT_EQ(cells[5].exp.topology, harness::Topology::kSmpPrivate);
+  // Axis lookup by name.
+  EXPECT_EQ(cells[6].Value(spec.axis_names(), "camp"), "LC");
+  EXPECT_EQ(cells[6].Value(spec.axis_names(), "nope"), "");
+}
+
+TEST(SweepSpec, FiltersDropCellsAndReindexDensely) {
+  sweep::SweepSpec spec = TinySpec();
+  spec.AddFilter([](const sweep::Cell& c) {
+    return c.exp.camp == coresim::Camp::kFat;
+  });
+  const std::vector<sweep::Cell> cells = spec.Expand();
+  ASSERT_EQ(cells.size(), 4u);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    EXPECT_EQ(cells[i].values[1], "FC");
+  }
+}
+
+TEST(SweepSpec, NoAxesExpandsToSingleBaseCell) {
+  sweep::SweepSpec spec("base-only");
+  spec.base_exp.cores = 3;
+  const std::vector<sweep::Cell> cells = spec.Expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].exp.cores, 3u);
+  EXPECT_TRUE(cells[0].values.empty());
+}
+
+TEST(TraceSetCache, BuildsEachDistinctConfigOnceAndShares) {
+  harness::WorkloadFactory factory;
+  sweep::TraceSetCache cache(&factory);
+
+  harness::TraceSetConfig a;
+  a.workload = harness::WorkloadKind::kOltp;
+  a.clients = 2;
+  a.requests_per_client = 2;
+  a.seed = 3;
+  harness::TraceSetConfig b = a;
+  b.seed = 4;
+
+  const harness::TraceSet& ts1 = cache.Get(a);
+  const harness::TraceSet& ts2 = cache.Get(a);
+  const harness::TraceSet& ts3 = cache.Get(b);
+  EXPECT_EQ(&ts1, &ts2) << "same config must share one TraceSet";
+  EXPECT_NE(&ts1, &ts3);
+  EXPECT_EQ(cache.stats().builds, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Hammer the cache from many threads; every result must alias the
+  // already-built sets and no new builds may happen.
+  std::vector<std::thread> pool;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 8; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (&cache.Get(a) != &ts1 || &cache.Get(b) != &ts3) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cache.stats().builds, 2u);
+}
+
+TEST(TraceSet, PointerCacheIsStableAndInvalidatesOnMutation) {
+  harness::WorkloadFactory factory;
+  harness::TraceSetConfig tc;
+  tc.workload = harness::WorkloadKind::kOltp;
+  tc.clients = 2;
+  tc.requests_per_client = 1;
+  tc.seed = 9;
+  harness::TraceSet ts = factory.Build(tc);
+
+  const auto& p1 = ts.Pointers();
+  const auto& p2 = ts.Pointers();
+  EXPECT_EQ(&p1, &p2) << "repeat calls must not rebuild the vector";
+  ASSERT_EQ(p1.size(), ts.traces.size());
+  for (size_t i = 0; i < p1.size(); ++i) EXPECT_EQ(p1[i], &ts.traces[i]);
+
+  // Mutating the trace list invalidates the cache.
+  ts.traces.push_back(ts.traces.front());
+  const auto& p3 = ts.Pointers();
+  ASSERT_EQ(p3.size(), ts.traces.size());
+  for (size_t i = 0; i < p3.size(); ++i) EXPECT_EQ(p3[i], &ts.traces[i]);
+}
+
+// Exact SimResult equality — every field the sinks serialize.
+void ExpectSameResult(const coresim::SimResult& x,
+                      const coresim::SimResult& y, size_t cell) {
+  EXPECT_EQ(x.instructions, y.instructions) << "cell " << cell;
+  EXPECT_EQ(x.elapsed_cycles, y.elapsed_cycles) << "cell " << cell;
+  EXPECT_EQ(x.requests_completed, y.requests_completed) << "cell " << cell;
+  EXPECT_EQ(x.avg_response_cycles, y.avg_response_cycles) << "cell " << cell;
+  EXPECT_EQ(x.l1d_hit_rate, y.l1d_hit_rate) << "cell " << cell;
+  EXPECT_EQ(x.l1i_hit_rate, y.l1i_hit_rate) << "cell " << cell;
+  EXPECT_EQ(x.l2_hit_rate, y.l2_hit_rate) << "cell " << cell;
+  for (int b = 0; b < static_cast<int>(coresim::Bucket::kCount); ++b) {
+    EXPECT_EQ(x.breakdown.cycles[static_cast<size_t>(b)],
+              y.breakdown.cycles[static_cast<size_t>(b)])
+        << "cell " << cell << " bucket " << b;
+  }
+}
+
+TEST(SweepRunner, ResultsAreIdenticalForOneAndEightThreads) {
+  // Both runs replay the same TraceSet instances (shared cache): traces
+  // embed heap addresses, so only same-instance replays can be
+  // bit-compared — see test_determinism.cc.
+  harness::WorkloadFactory factory;
+  sweep::TraceSetCache cache(&factory);
+  auto run = [&](uint32_t threads) {
+    sweep::SweepRunner runner(&factory, sweep::RunnerOptions{threads},
+                              &cache);
+    return runner.Run(TinySpec());
+  };
+  const sweep::SweepReport serial = run(1);
+  const sweep::SweepReport parallel = run(8);
+
+  ASSERT_EQ(serial.cells.size(), 8u);
+  ASSERT_EQ(parallel.cells.size(), 8u);
+  for (size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(parallel.cells[i].cell.index, i);
+    ExpectSameResult(serial.cells[i].result, parallel.cells[i].result, i);
+  }
+
+  // Stronger: the deterministic serialized forms are byte-identical.
+  auto to_json = [](const sweep::SweepReport& r) {
+    std::ostringstream os;
+    sweep::JsonSink(/*include_timing=*/false).Emit(r, os);
+    return os.str();
+  };
+  auto to_csv = [](const sweep::SweepReport& r) {
+    std::ostringstream os;
+    sweep::CsvSink(/*include_timing=*/false).Emit(r, os);
+    return os.str();
+  };
+  EXPECT_EQ(to_json(serial), to_json(parallel));
+  EXPECT_EQ(to_csv(serial), to_csv(parallel));
+}
+
+TEST(SweepRunner, CellsMatchDirectRunExperimentCalls) {
+  harness::WorkloadFactory factory;
+  sweep::TraceSetCache cache(&factory);
+  sweep::SweepRunner runner(&factory, sweep::RunnerOptions{4}, &cache);
+  const sweep::SweepReport report = runner.Run(TinySpec());
+  ASSERT_EQ(report.cells.size(), 8u);
+  EXPECT_EQ(report.trace_sets_built, 2u) << "one OLTP + one DSS set";
+
+  // Replay each cell by hand over the same shared trace sets; the sweep
+  // result must be bit-equal to the direct RunExperiment result.
+  for (const sweep::CellResult& cr : report.cells) {
+    const harness::TraceSet& traces = cache.Get(cr.cell.trace);
+    EXPECT_EQ(traces.total_instructions, cr.trace_total_instructions);
+    EXPECT_EQ(traces.total_events, cr.trace_total_events);
+    const coresim::SimResult direct =
+        harness::RunExperiment(cr.cell.exp, traces);
+    ExpectSameResult(cr.result, direct, cr.cell.index);
+  }
+}
+
+TEST(BuiltinSpecs, AllNamesExpandToTheExpectedGrids) {
+  EXPECT_TRUE(sweep::HasBuiltinSpec("fig7"));
+  EXPECT_FALSE(sweep::HasBuiltinSpec("fig99"));
+  EXPECT_EQ(sweep::BuiltinSpec("smoke").Expand().size(), 4u);
+  EXPECT_EQ(sweep::BuiltinSpec("fig4").Expand().size(), 8u);
+  EXPECT_EQ(sweep::BuiltinSpec("fig6").Expand().size(), 24u);
+  EXPECT_EQ(sweep::BuiltinSpec("fig7").Expand().size(), 4u);
+  EXPECT_EQ(sweep::BuiltinSpec("fig8").Expand().size(), 8u);
+
+  // fig7 cells carry the exact pre-port configs: SMP private 4MB per
+  // node vs CMP shared 16MB, over the canonical saturated trace sets.
+  const std::vector<sweep::Cell> fig7 = sweep::BuiltinSpec("fig7").Expand();
+  EXPECT_EQ(fig7[0].trace.seed, sweep::OltpSaturatedConfig().seed);
+  EXPECT_EQ(fig7[0].exp.topology, harness::Topology::kSmpPrivate);
+  EXPECT_EQ(fig7[0].exp.l2_bytes, 4ull << 20);
+  EXPECT_EQ(fig7[1].exp.topology, harness::Topology::kCmpShared);
+  EXPECT_EQ(fig7[1].exp.l2_bytes, 16ull << 20);
+  EXPECT_EQ(fig7[2].trace.clients, sweep::DssSaturatedConfig().clients);
+
+  // fig8 scales offered load and measurement window with the machine.
+  const std::vector<sweep::Cell> fig8 = sweep::BuiltinSpec("fig8").Expand();
+  EXPECT_EQ(fig8[3].exp.cores, 16u);
+  EXPECT_EQ(fig8[3].trace.clients, 48u);
+  EXPECT_EQ(fig8[3].exp.measure_instructions, 48'000'000u);
+}
+
+}  // namespace
+}  // namespace stagedcmp

@@ -4,7 +4,10 @@
 // fast the simulator itself runs), not simulated cycles.
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
 #include "common/arena.h"
+#include "common/flat_hash.h"
 #include "common/rng.h"
 #include "db/bptree.h"
 #include "db/exec.h"
@@ -27,6 +30,85 @@ static void BM_CacheAccess(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CacheAccess)->Arg(64 << 10)->Arg(1 << 20)->Arg(16 << 20);
+
+// Pure hit loop over a resident footprint: the L1 fast path the replay
+// cores take on the overwhelming majority of accesses. Regressions here
+// are invisible in end-to-end sweeps until they compound.
+static void BM_CacheHitLoop(benchmark::State& state) {
+  memsim::Cache cache(memsim::CacheConfig{64 << 10, 8, 64});
+  constexpr uint64_t kLines = 256;  // fits: 1024 ways
+  for (uint64_t l = 0; l < kLines; ++l) cache.Fill(l, false);
+  uint64_t line = 0;
+  for (auto _ : state) {
+    const memsim::Cache::ProbeResult p = cache.Probe(line);
+    benchmark::DoNotOptimize(cache.AccessAt(p, false));
+    line = (line + 1) % kLines;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitLoop);
+
+// Miss + evict loop: every access conflicts in one set, so each iteration
+// pays the probe, the victim scan, and the eviction bookkeeping — the
+// single-probe FillAt path (one tag scan) versus the legacy 2-3 scans.
+static void BM_CacheMissEvict(benchmark::State& state) {
+  memsim::Cache cache(memsim::CacheConfig{64 << 10, 8, 64});
+  const uint64_t sets = (64 << 10) / (8 * 64);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const uint64_t line = (i++) * sets;  // same set every time
+    const memsim::Cache::ProbeResult p = cache.Probe(line);
+    cache.AccessAt(p, false);
+    benchmark::DoNotOptimize(cache.FillAt(p, line, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheMissEvict);
+
+// Directory churn, flat open-addressed table: the CMP L1 directory's
+// life — FindOrInsert on fill, Find + Erase on eviction, over a working
+// set that cycles like L1 contents do.
+static void BM_FlatDirChurn(benchmark::State& state) {
+  struct DirEntry {
+    uint32_t sharers = 0;
+    int8_t dirty_owner = -1;
+  };
+  FlatMap64<DirEntry> dir(1 << 12);
+  constexpr uint64_t kWindow = 2048;  // lines resident at once
+  uint64_t next = 0;
+  for (; next < kWindow; ++next) dir.FindOrInsert(next).sharers = 1;
+  for (auto _ : state) {
+    dir.FindOrInsert(next).sharers |= 1;
+    benchmark::DoNotOptimize(dir.Find(next - kWindow / 2));
+    dir.Erase(next - kWindow);
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatDirChurn);
+
+// Same churn on std::unordered_map — the container the directory used
+// before the flat table; kept as the comparison arm.
+static void BM_UnorderedDirChurn(benchmark::State& state) {
+  struct DirEntry {
+    uint32_t sharers = 0;
+    int8_t dirty_owner = -1;
+  };
+  std::unordered_map<uint64_t, DirEntry> dir;
+  dir.reserve(1 << 12);
+  constexpr uint64_t kWindow = 2048;
+  uint64_t next = 0;
+  for (; next < kWindow; ++next) dir[next].sharers = 1;
+  for (auto _ : state) {
+    dir[next].sharers |= 1;
+    auto it = dir.find(next - kWindow / 2);
+    benchmark::DoNotOptimize(it);
+    dir.erase(next - kWindow);
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnorderedDirChurn);
 
 static void BM_BtreeLookup(benchmark::State& state) {
   Arena arena;

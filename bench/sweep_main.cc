@@ -33,7 +33,8 @@ int Usage(const char* argv0, int code) {
   std::fprintf(
       code == 0 ? stdout : stderr,
       "usage: %s --spec NAME [--threads N] [--format table|json|csv]\n"
-      "          [--out FILE] [--perf-out FILE] [--deterministic]\n"
+      "          [--out FILE] [--perf-out FILE] [--trace-bundle FILE]\n"
+      "          [--deterministic]\n"
       "       %s --list\n"
       "\n"
       "  --spec NAME       built-in grid to run (see --list)\n"
@@ -41,6 +42,10 @@ int Usage(const char* argv0, int code) {
       "  --format F        result sink: table (default), json, csv\n"
       "  --out FILE        write results to FILE instead of stdout\n"
       "  --perf-out FILE   also write a BENCH_sweep.json perf summary\n"
+      "  --trace-bundle F  persist/reuse built trace sets on disk: a\n"
+      "                    matching bundle skips trace generation (warm),\n"
+      "                    otherwise the cold build rewrites it. Delete\n"
+      "                    the file after changing trace generation.\n"
       "  --deterministic   omit timing fields from json/csv output\n"
       "  --golden          process-invariant JSON (for golden diffs)\n",
       argv0, argv0);
@@ -54,6 +59,7 @@ int main(int argc, char** argv) {
   std::string format;  // empty = default (table; json under --golden)
   std::string out_path;
   std::string perf_path;
+  std::string bundle_path;
   uint32_t threads = 0;
   bool deterministic = false;
   bool golden = false;
@@ -86,6 +92,8 @@ int main(int argc, char** argv) {
       out_path = value("--out");
     } else if (arg == "--perf-out") {
       perf_path = value("--perf-out");
+    } else if (arg == "--trace-bundle") {
+      bundle_path = value("--trace-bundle");
     } else if (arg == "--deterministic") {
       deterministic = true;
     } else if (arg == "--golden") {
@@ -134,7 +142,10 @@ int main(int argc, char** argv) {
   }
 
   harness::WorkloadFactory factory;
-  sweep::SweepRunner runner(&factory, sweep::RunnerOptions{threads});
+  sweep::RunnerOptions options;
+  options.threads = threads;
+  options.trace_bundle = bundle_path;
+  sweep::SweepRunner runner(&factory, options);
   const sweep::SweepReport report = runner.Run(sweep::BuiltinSpec(spec_name));
 
   if (out_path.empty()) {

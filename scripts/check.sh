@@ -30,11 +30,61 @@ if [[ $run_tier1 -eq 1 ]]; then
   cmake --build build -j "$jobs"
   ctest --test-dir build --output-on-failure -j "$jobs"
 
-  echo "==> sweep smoke grid: golden diff + BENCH_sweep.json trajectory"
+  echo "==> sweep smoke grid: golden diff (cold) + BENCH trajectory (warm)"
+  # Cold pass: regenerate every trace set from scratch, verify the golden,
+  # and write the trace bundle the warm pass replays from.
+  rm -f build/smoke.traces
   ./build/bench/sweep_main --spec smoke --threads 4 --golden \
-    --out build/sweep_smoke_golden.json --perf-out BENCH_sweep.json
+    --trace-bundle build/smoke.traces --out build/sweep_smoke_golden.json
   diff -u tests/golden/sweep_smoke.json build/sweep_smoke_golden.json
-  cat BENCH_sweep.json
+  # Warm pass: replay-only single-thread trajectory (the committed
+  # BENCH_sweep.json baseline is measured exactly this way). Known scope
+  # limit: the gate below therefore watches replay throughput only —
+  # trace-GENERATION slowdowns show up in the cold pass's wall clock but
+  # are not gated (too noisy on shared CI hardware).
+  ./build/bench/sweep_main --spec smoke --threads 1 --format json \
+    --trace-bundle build/smoke.traces --out /dev/null \
+    --perf-out build/BENCH_sweep_fresh.json
+
+  echo "==> perf gate: cells/sec within 20% of committed BENCH_sweep.json"
+  # The gate compares absolute throughput against a baseline committed
+  # from the CI container; on a substantially slower machine export
+  # STAGEDCMP_SKIP_PERF_GATE=1 instead of committing that machine's
+  # numbers.
+  get_cps() {
+    awk -F': ' '/"cells_per_second"/ { gsub(/,/, "", $2); print $2; exit }' \
+      "$1"
+  }
+  baseline=$(get_cps BENCH_sweep.json)
+  fresh=$(get_cps build/BENCH_sweep_fresh.json)
+  if [[ -z "$baseline" || -z "$fresh" ]]; then
+    # An unparsable side must fail loudly: awk would treat "" as 0 and
+    # silently disable the gate forever.
+    echo "FAIL: could not parse cells_per_second" \
+         "(baseline='${baseline}', fresh='${fresh}')" >&2
+    exit 1
+  fi
+  echo "    baseline ${baseline} cells/s, fresh ${fresh} cells/s"
+  if [[ "${STAGEDCMP_SKIP_PERF_GATE:-0}" != "1" ]]; then
+    if ! awk -v f="$fresh" -v b="$baseline" \
+         'BEGIN { exit (f >= 0.8 * b) ? 0 : 1 }'; then
+      echo "FAIL: cells_per_second regressed >20%" \
+           "(${fresh} < 0.8*${baseline})" >&2
+      exit 1
+    fi
+  fi
+  cat build/BENCH_sweep_fresh.json
+  # The committed baseline only changes on explicit request (run on the
+  # CI container: STAGEDCMP_UPDATE_PERF_BASELINE=1 scripts/check.sh),
+  # and even then never downward — otherwise a faster dev machine would
+  # silently commit numbers every other machine then fails against, and
+  # noisy slower runs would ratchet the gate loose.
+  if [[ "${STAGEDCMP_UPDATE_PERF_BASELINE:-0}" == "1" ]] \
+     && awk -v f="$fresh" -v b="$baseline" 'BEGIN { exit (f >= b) ? 0 : 1 }'
+  then
+    cp build/BENCH_sweep_fresh.json BENCH_sweep.json
+    echo "    committed baseline updated"
+  fi
 fi
 
 if [[ $run_sanitize -eq 1 ]]; then

@@ -59,7 +59,12 @@ class Arena {
  private:
   void NewBlock(size_t min_bytes) {
     size_t sz = min_bytes > block_size_ ? min_bytes : block_size_;
-    blocks_.push_back(std::make_unique<char[]>(sz));
+    // Uninitialized block: make_unique<char[]> value-initializes, which
+    // memsets every page/node frame the workloads later overwrite —
+    // hundreds of MB of redundant zeroing per database load. Callers
+    // never read bytes they did not write (pages expose [0, n_tuples),
+    // B+-tree nodes expose [0, count)).
+    blocks_.push_back(std::unique_ptr<char[]>(new char[sz]));
     ptr_ = blocks_.back().get();
     remaining_ = sz;
     reserved_ += sz;

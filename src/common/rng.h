@@ -63,15 +63,26 @@ class Rng {
 
   /// Random alphanumeric string of length in [min_len, max_len].
   std::string AlphaString(int min_len, int max_len) {
+    std::string out;
+    out.resize(static_cast<size_t>(max_len));
+    out.resize(static_cast<size_t>(AlphaStringInto(out.data(), min_len,
+                                                   max_len)));
+    return out;
+  }
+
+  /// AlphaString without the allocation: writes into `dst` (which must
+  /// hold `max_len` bytes, no terminator added) and returns the length.
+  /// Consumes the identical generator draws as AlphaString, so the two
+  /// are interchangeable without perturbing the stream — bulk loaders
+  /// use this form to keep millions of column fills off the heap.
+  int AlphaStringInto(char* dst, int min_len, int max_len) {
     static constexpr char kChars[] =
         "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
     const int len = static_cast<int>(Uniform(min_len, max_len));
-    std::string out;
-    out.reserve(static_cast<size_t>(len));
     for (int i = 0; i < len; ++i) {
-      out.push_back(kChars[Next() % 62]);
+      dst[i] = kChars[Next() % 62];
     }
-    return out;
+    return len;
   }
 
  private:

@@ -70,6 +70,11 @@ struct SimConfig {
   bool loop_traces = false;
   /// Instructions executed before counters reset (cache warmup).
   uint64_t warmup_instructions = 0;
+  /// Testing hook: replay through the generic virtual-dispatch engine
+  /// even for the known hierarchy types, instead of the devirtualized
+  /// per-type instantiation. Results must be bit-identical either way
+  /// (tests/test_replay_equivalence.cc).
+  bool force_generic_dispatch = false;
 };
 
 struct SimResult {
@@ -78,6 +83,9 @@ struct SimResult {
   CycleBreakdown breakdown;      ///< summed over cores
   uint64_t requests_completed = 0;
   double avg_response_cycles = 0.0;
+  /// Trace events consumed over the whole run, warmup included — the
+  /// simulator's unit of work for native-throughput (events/sec) reporting.
+  uint64_t events_replayed = 0;
   double l1d_hit_rate = 0.0;
   double l1i_hit_rate = 0.0;
   double l2_hit_rate = 0.0;
@@ -107,6 +115,12 @@ struct SimResult {
 /// Runs a set of client traces on a CMP over the given hierarchy.
 /// Clients are assigned to hardware contexts round-robin; a context with
 /// several clients alternates between them (multiprogramming).
+///
+/// Thin facade over the templated replay core (coresim/replay_core.h):
+/// Run() instantiates the engine for the hierarchy's concrete type — so
+/// the per-event dispatch devirtualizes and inlines — and falls back to
+/// the generic virtual-dispatch engine for hierarchy implementations the
+/// facade does not know about.
 class CmpSimulator {
  public:
   CmpSimulator(const SimConfig& config, memsim::MemoryHierarchy* hierarchy,
@@ -116,60 +130,9 @@ class CmpSimulator {
   SimResult Run();
 
  private:
-  struct Context {
-    std::vector<uint32_t> client_ids;   // round-robin multiprogramming
-    size_t cur_client = 0;
-    size_t pos = 0;                     // event index in current client
-    bool finished = false;              // all clients drained (non-loop)
-
-    // In-flight state.
-    double compute_remaining = 0.0;     // instructions left in current run
-    uint64_t pending_event = 0;         // mem event to issue after compute
-    bool has_pending_mem = false;
-    double blocked_until = 0.0;
-    bool blocked = false;
-    Bucket block_bucket = Bucket::kOther;
-    uint64_t pc = 0;
-    uint64_t next_ifetch_line = 0;      // next code line boundary to fetch
-    double instr_since_miss = 1e18;     // FC miss clustering distance
-    double request_start = 0.0;
-    double committed = 0.0;
-  };
-
-  struct Core {
-    double now = 0.0;
-    std::vector<Context> ctx;
-    size_t rr = 0;       // round-robin pointer
-    bool active = false; // has at least one client
-    CycleBreakdown bd;
-    double committed = 0.0;
-  };
-
-  // Advances one core by one scheduling step; returns false if the core
-  // has no further work.
-  bool StepCore(Core& core, uint32_t core_id);
-
-  // Refills ctx with its next event(s); returns false when out of events.
-  bool AdvanceContext(Core& core, uint32_t core_id, Context& ctx);
-
-  // Issues the context's pending memory access at core.now.
-  void IssueMem(Core& core, uint32_t core_id, Context& ctx);
-
-  // Performs I-fetches implied by advancing `instrs` from ctx.pc.
-  // Returns stall cycles charged (FC) or sets blocked state (LC).
-  double FetchInstructions(Core& core, uint32_t core_id, Context& ctx,
-                           double instrs);
-
-  Bucket BucketFor(memsim::AccessClass cls, bool instr) const;
-
   SimConfig config_;
   memsim::MemoryHierarchy* hierarchy_;
   std::vector<const trace::ClientTrace*> clients_;
-  std::vector<Core> cores_;
-  double total_committed_ = 0.0;
-  double response_sum_ = 0.0;
-  uint64_t responses_ = 0;
-  bool measuring_ = true;
 };
 
 }  // namespace stagedcmp::coresim

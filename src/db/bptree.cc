@@ -11,6 +11,8 @@ using trace::CostModel;
 BPlusTree::BPlusTree(Arena* arena) : arena_(arena) {
   region_ = trace::RegionBtree();
   root_ = NewNode(true);
+  rightmost_leaf_ = root_;
+  insert_path_.reserve(16);
 }
 
 BPlusTree::Node* BPlusTree::NewNode(bool leaf) {
@@ -60,7 +62,22 @@ BPlusTree::Node* BPlusTree::FindLeaf(uint64_t key, bool for_insert,
 }
 
 void BPlusTree::Insert(uint64_t key, uint64_t value, trace::Tracer* t) {
-  std::vector<Node*> path;
+  // Untraced ascending append: the insert descent would end at the
+  // rightmost leaf (key >= every separator), so go there directly when
+  // no split is needed. Produces a tree bit-identical to the slow path.
+  if (t == nullptr && rightmost_leaf_->count > 0 &&
+      rightmost_leaf_->count < kLeafCap &&
+      key >= rightmost_leaf_->keys[rightmost_leaf_->count - 1]) {
+    Node* leaf = rightmost_leaf_;
+    leaf->keys[leaf->count] = key;
+    leaf->values[leaf->count] = value;
+    ++leaf->count;
+    ++size_;
+    return;
+  }
+
+  std::vector<Node*>& path = insert_path_;
+  path.clear();
   Node* leaf = FindLeaf(key, /*for_insert=*/true, t, &path);
 
   // Position: after existing equal keys (FIFO duplicates).
@@ -92,6 +109,7 @@ void BPlusTree::Insert(uint64_t key, uint64_t value, trace::Tracer* t) {
   leaf->count = static_cast<uint16_t>(mid);
   right->next = leaf->next;
   leaf->next = right;
+  if (right->next == nullptr) rightmost_leaf_ = right;
 
   Node* target = key < right->keys[0] ? leaf : right;
   pos = static_cast<int>(

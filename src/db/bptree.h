@@ -83,6 +83,15 @@ class BPlusTree {
 
   Arena* arena_;
   Node* root_;
+  // Rightmost leaf, maintained across splits. Untraced inserts of a key
+  // >= the current maximum append here directly, skipping the descent —
+  // the bulk loaders insert composite keys in ascending order, so this
+  // covers nearly every load-time insert. Traced inserts always take the
+  // full descent (the descent itself is what gets traced).
+  Node* rightmost_leaf_;
+  // Root-to-leaf descent scratch, reused across Insert calls: a fresh
+  // vector per insert cost ~2 heap reallocs per call on bulk loads.
+  std::vector<Node*> insert_path_;
   uint64_t size_ = 0;
   uint32_t height_ = 1;
   uint64_t node_count_ = 0;

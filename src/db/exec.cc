@@ -450,14 +450,17 @@ void HashAggOp::Open(ExecContext* ctx) {
   ordered_.clear();
   emit_pos_ = 0;
   child_->Open(ctx);
+  // Reused across tuples: a fresh vector per input row was a measured
+  // allocation hot spot on the DSS trace-build path.
+  std::vector<int64_t> keys;
+  keys.reserve(group_cols_.size());
   while (const uint8_t* tuple = child_->Next(ctx)) {
     if (t != nullptr) {
       t->EnterRegion(region_);
       t->Compute(CostModel::kHashCompute);
     }
     uint64_t h = 0xcbf29ce484222325ULL;
-    std::vector<int64_t> keys;
-    keys.reserve(group_cols_.size());
+    keys.clear();
     for (int c : group_cols_) {
       const int64_t k = GetIntAt(in, tuple, c);
       keys.push_back(k);

@@ -111,10 +111,16 @@ class TupleRef {
     std::memcpy(data_ + schema_->offset(col), &v, 8);
   }
   void SetString(size_t col, const std::string& s) {
+    SetChars(col, s.data(), s.size());
+  }
+  /// SetString over raw bytes: truncates to the column width and
+  /// zero-pads the remainder. The loaders pair this with
+  /// Rng::AlphaStringInto to fill CHAR columns without heap traffic.
+  void SetChars(size_t col, const char* s, size_t n) {
     const Column& c = schema_->column(col);
-    const size_t n = s.size() < c.length ? s.size() : c.length;
+    if (n > c.length) n = c.length;
     std::memset(data_ + schema_->offset(col), 0, c.length);
-    std::memcpy(data_ + schema_->offset(col), s.data(), n);
+    std::memcpy(data_ + schema_->offset(col), s, n);
   }
 
   uint8_t* data() const { return data_; }

@@ -38,110 +38,16 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   (void)s;
   num_sets_ = config.num_sets();
   set_shift_ = Log2(num_sets_);
-  ways_.resize(num_sets_ * config.associativity);
-}
-
-Cache::Way* Cache::FindWay(uint64_t line_addr) {
-  const size_t set = SetIndex(line_addr);
-  const uint64_t tag = Tag(line_addr);
-  Way* base = &ways_[set * config_.associativity];
-  for (uint32_t i = 0; i < config_.associativity; ++i) {
-    if (base[i].state != LineState::kInvalid && base[i].tag == tag) {
-      return &base[i];
-    }
-  }
-  return nullptr;
-}
-
-const Cache::Way* Cache::FindWay(uint64_t line_addr) const {
-  return const_cast<Cache*>(this)->FindWay(line_addr);
-}
-
-bool Cache::Access(uint64_t line_addr, bool is_write) {
-  Way* w = FindWay(line_addr);
-  if (w == nullptr) {
-    ++misses_;
-    return false;
-  }
-  ++hits_;
-  w->lru = ++lru_clock_;
-  if (is_write) w->state = LineState::kModified;
-  return true;
-}
-
-bool Cache::Contains(uint64_t line_addr) const {
-  return FindWay(line_addr) != nullptr;
-}
-
-LineState Cache::GetState(uint64_t line_addr) const {
-  const Way* w = FindWay(line_addr);
-  return w ? w->state : LineState::kInvalid;
-}
-
-void Cache::SetState(uint64_t line_addr, LineState s) {
-  Way* w = FindWay(line_addr);
-  if (w != nullptr) w->state = s;
-}
-
-EvictedLine Cache::Fill(uint64_t line_addr, bool is_write, LineState state) {
-  EvictedLine out;
-  // A line may already be resident when Fill() concludes a coherence
-  // upgrade (Shared -> Modified); update it in place — allocating a second
-  // way for the same tag would leave a stale duplicate that a later
-  // invalidation misses.
-  if (Way* existing = FindWay(line_addr)) {
-    existing->lru = ++lru_clock_;
-    existing->state = is_write ? LineState::kModified : state;
-    return out;
-  }
-  const size_t set = SetIndex(line_addr);
-  Way* base = &ways_[set * config_.associativity];
-  Way* victim = nullptr;
-  for (uint32_t i = 0; i < config_.associativity; ++i) {
-    if (base[i].state == LineState::kInvalid) {
-      victim = &base[i];
-      break;
-    }
-  }
-  if (victim == nullptr) {
-    victim = &base[0];
-    for (uint32_t i = 1; i < config_.associativity; ++i) {
-      if (base[i].lru < victim->lru) victim = &base[i];
-    }
-    out.valid = true;
-    out.dirty = victim->state == LineState::kModified;
-    out.line_addr = LineAddrFrom(victim->tag, set);
-    ++evictions_;
-    if (out.dirty) ++writebacks_;
-  }
-  victim->tag = Tag(line_addr);
-  victim->lru = ++lru_clock_;
-  victim->state = is_write ? LineState::kModified : state;
-  return out;
-}
-
-bool Cache::Invalidate(uint64_t line_addr, bool* was_present) {
-  Way* w = FindWay(line_addr);
-  if (was_present != nullptr) *was_present = (w != nullptr);
-  if (w == nullptr) return false;
-  const bool dirty = w->state == LineState::kModified;
-  w->state = LineState::kInvalid;
-  if (dirty) ++writebacks_;
-  return dirty;
-}
-
-bool Cache::Downgrade(uint64_t line_addr) {
-  Way* w = FindWay(line_addr);
-  if (w == nullptr) return false;
-  const bool dirty = w->state == LineState::kModified;
-  w->state = LineState::kShared;
-  return dirty;
+  const size_t ways = num_sets_ * config.associativity;
+  tags_.assign(ways, 0);
+  lru_.assign(ways, 0);
+  states_.assign(ways, LineState::kInvalid);
 }
 
 uint64_t Cache::CountValid() const {
   uint64_t n = 0;
-  for (const Way& w : ways_) {
-    if (w.state != LineState::kInvalid) ++n;
+  for (LineState s : states_) {
+    if (s != LineState::kInvalid) ++n;
   }
   return n;
 }

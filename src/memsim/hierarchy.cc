@@ -1,6 +1,7 @@
+// Cold-path definitions for the hierarchies: construction, stat resets,
+// reporting. The per-access hot paths live inline in hierarchy.h so the
+// templated replay core can inline them.
 #include "memsim/hierarchy.h"
-
-#include <algorithm>
 
 namespace stagedcmp::memsim {
 
@@ -41,150 +42,6 @@ SharedL2Hierarchy::SharedL2Hierarchy(const HierarchyConfig& config)
   port_free_.assign(std::max<uint32_t>(1, config.l2_ports), 0);
 }
 
-uint64_t SharedL2Hierarchy::PortDelay(uint64_t line_addr, uint64_t now) {
-  // Requests are distributed over ports by line address (banked L2); a
-  // request waits until its bank's port frees, then occupies it.
-  const size_t p = static_cast<size_t>(line_addr) % port_free_.size();
-  const uint64_t start = std::max<uint64_t>(now, port_free_[p]);
-  const uint64_t delay = start - now;
-  port_free_[p] = start + config_.l2_port_occupancy;
-  stats_.queue_delay.Add(delay);
-  return delay;
-}
-
-void SharedL2Hierarchy::TrackL1Fill(uint32_t core, uint64_t line_addr,
-                                    bool is_write) {
-  DirEntry& e = l1_dir_[line_addr];
-  if (is_write) {
-    // Invalidate all other L1 copies.
-    uint32_t others = e.sharers & ~(1u << core);
-    if (others != 0) {
-      for (uint32_t c = 0; c < config_.num_cores; ++c) {
-        if (others & (1u << c)) {
-          l1d_[c].Invalidate(line_addr);
-          ++stats_.invalidations;
-        }
-      }
-    }
-    e.sharers = 1u << core;
-    e.dirty_owner = static_cast<int8_t>(core);
-  } else {
-    e.sharers |= 1u << core;
-  }
-}
-
-AccessResult SharedL2Hierarchy::AccessData(uint32_t core, uint64_t addr,
-                                           bool is_write, uint64_t now) {
-  AccessResult r;
-  const uint64_t line = addr >> line_shift_;
-  Cache& l1 = l1d_[core];
-
-  if (l1.Access(line, is_write)) {
-    r.cls = AccessClass::kL1Hit;
-    r.latency = config_.lat.l1_hit;
-    if (is_write) {
-      // Write to a shared line: invalidate remote L1 copies.
-      auto it = l1_dir_.find(line);
-      if (it != l1_dir_.end() &&
-          (it->second.sharers & ~(1u << core)) != 0) {
-        TrackL1Fill(core, line, /*is_write=*/true);
-      } else if (it != l1_dir_.end()) {
-        it->second.dirty_owner = static_cast<int8_t>(core);
-      }
-    }
-    ++stats_.data_count[static_cast<int>(r.cls)];
-    return r;
-  }
-
-  // L1 miss. Check for a dirty copy in a peer L1 (fast on-chip transfer).
-  auto dir_it = l1_dir_.find(line);
-  const bool dirty_remote =
-      dir_it != l1_dir_.end() && dir_it->second.dirty_owner >= 0 &&
-      dir_it->second.dirty_owner != static_cast<int8_t>(core) &&
-      l1d_[static_cast<uint32_t>(dir_it->second.dirty_owner)].GetState(line) ==
-          LineState::kModified;
-
-  const uint64_t qd = PortDelay(line, now);
-  r.queue_delay = qd;
-
-  if (dirty_remote) {
-    // On-chip L1-to-L1 transfer through the shared L2 fabric. The remote
-    // copy is downgraded; the shared L2 absorbs the dirty data.
-    const uint32_t owner = static_cast<uint32_t>(dir_it->second.dirty_owner);
-    l1d_[owner].Downgrade(line);
-    dir_it->second.dirty_owner = -1;
-    if (!l2_.Contains(line)) l2_.Fill(line, /*is_write=*/true);
-    r.cls = AccessClass::kL2Hit;  // on-chip; paper counts these as L2 hits
-    r.latency = config_.lat.l1_transfer + qd;
-    ++stats_.l1_to_l1_transfers;
-  } else if (l2_.Access(line, /*is_write=*/false)) {
-    r.cls = AccessClass::kL2Hit;
-    r.latency = config_.lat.l2_hit + qd;
-  } else {
-    r.cls = AccessClass::kOffChip;
-    r.latency = config_.lat.memory + qd;
-    EvictedLine ev = l2_.Fill(line, is_write);
-    if (ev.valid && ev.dirty) ++stats_.writebacks;
-  }
-
-  EvictedLine l1ev = l1.Fill(line, is_write);
-  if (l1ev.valid) {
-    auto it = l1_dir_.find(l1ev.line_addr);
-    if (it != l1_dir_.end()) {
-      it->second.sharers &= ~(1u << core);
-      if (it->second.dirty_owner == static_cast<int8_t>(core)) {
-        it->second.dirty_owner = -1;
-        // Dirty L1 victim is absorbed by the shared (writeback) L2.
-        if (l1ev.dirty && !l2_.Contains(l1ev.line_addr)) {
-          l2_.Fill(l1ev.line_addr, /*is_write=*/true);
-        }
-      }
-      if (it->second.sharers == 0) l1_dir_.erase(it);
-    }
-  }
-  TrackL1Fill(core, line, is_write);
-
-  ++stats_.data_count[static_cast<int>(r.cls)];
-  return r;
-}
-
-AccessResult SharedL2Hierarchy::AccessInstr(uint32_t core, uint64_t addr,
-                                            uint64_t now) {
-  AccessResult r;
-  const uint64_t line = addr >> line_shift_;
-  Cache& l1 = l1i_[core];
-
-  if (l1.Access(line, /*is_write=*/false)) {
-    r.cls = AccessClass::kL1Hit;
-    r.latency = 0;  // fetch pipelined; no stall contribution
-    ++stats_.instr_count[static_cast<int>(r.cls)];
-    return r;
-  }
-
-  if (config_.stream_buffers && sbuf_[core].Probe(line)) {
-    r.cls = AccessClass::kL1Hit;  // near-hit; stream buffer supplies line
-    r.latency = config_.lat.stream_buffer_hit;
-    l1.Fill(line, /*is_write=*/false);
-    ++stats_.instr_count[static_cast<int>(r.cls)];
-    return r;
-  }
-
-  const uint64_t qd = PortDelay(line, now);
-  r.queue_delay = qd;
-  if (l2_.Access(line, /*is_write=*/false)) {
-    r.cls = AccessClass::kL2Hit;
-    r.latency = config_.lat.l2_hit + qd;
-  } else {
-    r.cls = AccessClass::kOffChip;
-    r.latency = config_.lat.memory + qd;
-    l2_.Fill(line, /*is_write=*/false);
-  }
-  l1.Fill(line, /*is_write=*/false);
-  if (config_.stream_buffers) sbuf_[core].Allocate(line);
-  ++stats_.instr_count[static_cast<int>(r.cls)];
-  return r;
-}
-
 void SharedL2Hierarchy::ResetStats() {
   stats_ = HierarchyStats();
   l2_.ResetCounters();
@@ -223,134 +80,6 @@ PrivateL2Hierarchy::PrivateL2Hierarchy(const HierarchyConfig& config)
     l2_.emplace_back(config.l2);
     sbuf_.emplace_back(config.stream_buffer_count, config.stream_buffer_depth);
   }
-}
-
-AccessClass PrivateL2Hierarchy::FetchRemoteOrMemory(uint32_t node,
-                                                    uint64_t line_addr,
-                                                    bool is_write) {
-  // Snoop peers. Dirty-remote => cache-to-cache (coherence miss).
-  // Clean-remote on a write => invalidate peers, fetch from memory.
-  bool dirty_remote = false;
-  bool any_remote = false;
-  for (uint32_t n = 0; n < config_.num_cores; ++n) {
-    if (n == node) continue;
-    const LineState s = l2_[n].GetState(line_addr);
-    if (s == LineState::kInvalid) continue;
-    any_remote = true;
-    if (s == LineState::kModified) dirty_remote = true;
-    if (is_write) {
-      l2_[n].Invalidate(line_addr);
-      l1d_[n].Invalidate(line_addr);
-      ++stats_.invalidations;
-    } else if (s == LineState::kModified || s == LineState::kExclusive) {
-      l2_[n].Downgrade(line_addr);
-      l1d_[n].SetState(line_addr, LineState::kShared);
-    }
-  }
-  const LineState fill_state =
-      is_write ? LineState::kModified
-               : (any_remote ? LineState::kShared : LineState::kExclusive);
-  EvictedLine ev = l2_[node].Fill(line_addr, is_write, fill_state);
-  if (ev.valid && ev.dirty) ++stats_.writebacks;
-  return dirty_remote ? AccessClass::kCoherence : AccessClass::kOffChip;
-}
-
-AccessResult PrivateL2Hierarchy::AccessData(uint32_t core, uint64_t addr,
-                                            bool is_write, uint64_t now) {
-  AccessResult r;
-  const uint64_t line = addr >> line_shift_;
-
-  // L1D.
-  const LineState l1s = l1d_[core].GetState(line);
-  const bool l1_ok = l1s != LineState::kInvalid &&
-                     (!is_write || l1s == LineState::kModified ||
-                      l1s == LineState::kExclusive);
-  if (l1_ok) {
-    l1d_[core].Access(line, is_write);
-    r.cls = AccessClass::kL1Hit;
-    r.latency = config_.lat.l1_hit;
-    ++stats_.data_count[static_cast<int>(r.cls)];
-    return r;
-  }
-  if (l1s != LineState::kInvalid) {
-    // Upgrade miss (write to Shared): needs a coherence transaction even if
-    // data is local. Count the L1 as missed for rate purposes.
-    l1d_[core].Access(line, false);  // refresh LRU
-  } else {
-    l1d_[core].Access(line, false);  // records the miss
-  }
-
-  // Private L2.
-  const LineState l2s = l2_[core].GetState(line);
-  const bool l2_ok = l2s != LineState::kInvalid &&
-                     (!is_write || l2s == LineState::kModified ||
-                      l2s == LineState::kExclusive);
-  if (l2_ok) {
-    l2_[core].Access(line, is_write);
-    r.cls = AccessClass::kL2Hit;
-    r.latency = config_.lat.l2_hit;
-  } else if (l2s == LineState::kShared && is_write) {
-    // Upgrade: invalidate remote sharers; bus transaction latency.
-    for (uint32_t n = 0; n < config_.num_cores; ++n) {
-      if (n == core) continue;
-      if (l2_[n].GetState(line) != LineState::kInvalid) {
-        l2_[n].Invalidate(line);
-        l1d_[n].Invalidate(line);
-        ++stats_.invalidations;
-      }
-    }
-    l2_[core].SetState(line, LineState::kModified);
-    l2_[core].Access(line, true);
-    r.cls = AccessClass::kCoherence;
-    r.latency = config_.lat.remote_l2 / 2;  // address-only transaction
-  } else {
-    l2_[core].Access(line, false);  // records the miss
-    const AccessClass cls = FetchRemoteOrMemory(core, line, is_write);
-    r.cls = cls;
-    r.latency = cls == AccessClass::kCoherence ? config_.lat.remote_l2
-                                               : config_.lat.memory;
-  }
-
-  EvictedLine l1ev =
-      l1d_[core].Fill(line, is_write,
-                      is_write ? LineState::kModified
-                               : (l2_[core].GetState(line) == LineState::kShared
-                                      ? LineState::kShared
-                                      : LineState::kExclusive));
-  (void)l1ev;  // L1 victims are absorbed by the inclusive private L2
-  ++stats_.data_count[static_cast<int>(r.cls)];
-  return r;
-}
-
-AccessResult PrivateL2Hierarchy::AccessInstr(uint32_t core, uint64_t addr,
-                                             uint64_t now) {
-  AccessResult r;
-  const uint64_t line = addr >> line_shift_;
-  if (l1i_[core].Access(line, false)) {
-    r.cls = AccessClass::kL1Hit;
-    r.latency = 0;
-    ++stats_.instr_count[static_cast<int>(r.cls)];
-    return r;
-  }
-  if (config_.stream_buffers && sbuf_[core].Probe(line)) {
-    r.cls = AccessClass::kL1Hit;
-    r.latency = config_.lat.stream_buffer_hit;
-    l1i_[core].Fill(line, false);
-    ++stats_.instr_count[static_cast<int>(r.cls)];
-    return r;
-  }
-  if (l2_[core].Access(line, false)) {
-    r.cls = AccessClass::kL2Hit;
-    r.latency = config_.lat.l2_hit;
-  } else {
-    r.cls = AccessClass::kOffChip;
-    r.latency = config_.lat.memory;
-    l2_[core].Fill(line, false, LineState::kShared);
-  }
-  l1i_[core].Fill(line, false);
-  if (config_.stream_buffers) sbuf_[core].Allocate(line);
-  ++stats_.instr_count[static_cast<int>(r.cls)];
-  return r;
 }
 
 void PrivateL2Hierarchy::ResetStats() {

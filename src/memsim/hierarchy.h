@@ -7,14 +7,25 @@
 // contention (finite L2 ports) is modeled with per-port next-free times, so
 // bursts of correlated misses from many cores suffer queueing delays — the
 // effect behind the sublinear OLTP scaling in Figure 8.
+//
+// Hot-path layout: both concrete hierarchies are `final` and define their
+// per-access methods inline in this header, so the templated replay core
+// (coresim/replay_core.h), instantiated per concrete type, devirtualizes
+// AND inlines the whole event path — trace event to cache probe with no
+// indirect call. Each access resolves each cache level with a single
+// `Cache::Probe` whose handle is reused for the hit/fill/state steps, and
+// the CMP L1 directory is a flat open-addressed table (common/flat_hash.h)
+// probed inline. The `MemoryHierarchy` interface remains the virtual
+// facade for the harness and any external hierarchy implementation.
 #ifndef STAGEDCMP_MEMSIM_HIERARCHY_H_
 #define STAGEDCMP_MEMSIM_HIERARCHY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/histogram.h"
 #include "common/status.h"
 #include "memsim/cache.h"
@@ -113,14 +124,14 @@ class MemoryHierarchy {
 };
 
 /// CMP: private split L1s, one shared banked L2, on-chip L1-to-L1 transfers.
-class SharedL2Hierarchy : public MemoryHierarchy {
+class SharedL2Hierarchy final : public MemoryHierarchy {
  public:
   explicit SharedL2Hierarchy(const HierarchyConfig& config);
 
-  AccessResult AccessData(uint32_t core, uint64_t addr, bool is_write,
-                          uint64_t now) override;
-  AccessResult AccessInstr(uint32_t core, uint64_t addr,
-                           uint64_t now) override;
+  inline AccessResult AccessData(uint32_t core, uint64_t addr, bool is_write,
+                                 uint64_t now) override;
+  inline AccessResult AccessInstr(uint32_t core, uint64_t addr,
+                                  uint64_t now) override;
 
   const HierarchyStats& stats() const override { return stats_; }
   const HierarchyConfig& config() const override { return config_; }
@@ -132,8 +143,8 @@ class SharedL2Hierarchy : public MemoryHierarchy {
   const Cache& l2() const { return l2_; }
 
  private:
-  uint64_t PortDelay(uint64_t line_addr, uint64_t now);
-  void TrackL1Fill(uint32_t core, uint64_t line_addr, bool is_write);
+  inline uint64_t PortDelay(uint64_t line_addr, uint64_t now);
+  inline void TrackL1Fill(uint32_t core, uint64_t line_addr, bool is_write);
 
   HierarchyConfig config_;
   std::vector<Cache> l1i_;
@@ -141,12 +152,15 @@ class SharedL2Hierarchy : public MemoryHierarchy {
   std::vector<StreamBufferFile> sbuf_;
   Cache l2_;
   std::vector<uint64_t> port_free_;  // next-free time per L2 port
-  // Directory over L1D lines: which cores hold the line, who owns it dirty.
+  // Directory over L1D lines: which cores hold the line, who owns it
+  // dirty. Flat open-addressed table — probed on every L1D fill and
+  // eviction, which made unordered_map's node allocations a measured
+  // hot spot.
   struct DirEntry {
     uint32_t sharers = 0;
     int8_t dirty_owner = -1;
   };
-  std::unordered_map<uint64_t, DirEntry> l1_dir_;
+  FlatMap64<DirEntry> l1_dir_;
   HierarchyStats stats_;
   uint32_t line_shift_;
 };
@@ -154,14 +168,14 @@ class SharedL2Hierarchy : public MemoryHierarchy {
 /// SMP: each node has split L1s and a private L2; MESI over the L2s.
 /// Dirty-remote reads are long-latency cache-to-cache transfers; writes to
 /// remotely-shared lines invalidate (subsequent remote reads then miss).
-class PrivateL2Hierarchy : public MemoryHierarchy {
+class PrivateL2Hierarchy final : public MemoryHierarchy {
  public:
   explicit PrivateL2Hierarchy(const HierarchyConfig& config);
 
-  AccessResult AccessData(uint32_t core, uint64_t addr, bool is_write,
-                          uint64_t now) override;
-  AccessResult AccessInstr(uint32_t core, uint64_t addr,
-                           uint64_t now) override;
+  inline AccessResult AccessData(uint32_t core, uint64_t addr, bool is_write,
+                                 uint64_t now) override;
+  inline AccessResult AccessInstr(uint32_t core, uint64_t addr,
+                                  uint64_t now) override;
 
   const HierarchyStats& stats() const override { return stats_; }
   const HierarchyConfig& config() const override { return config_; }
@@ -171,9 +185,13 @@ class PrivateL2Hierarchy : public MemoryHierarchy {
   double L2HitRate() const override;
 
  private:
-  /// Fetches a line into node caches after local L2 miss; returns class.
-  AccessClass FetchRemoteOrMemory(uint32_t node, uint64_t line_addr,
-                                  bool is_write);
+  /// Fetches a line into node caches after local L2 miss (probe `p2` of
+  /// the node's L2 is reused for the fill). Returns the access class and
+  /// the MESI state the line was installed with.
+  inline AccessClass FetchRemoteOrMemory(uint32_t node, uint64_t line_addr,
+                                         bool is_write,
+                                         const Cache::ProbeResult& p2,
+                                         LineState* fill_state);
 
   HierarchyConfig config_;
   std::vector<Cache> l1i_;
@@ -187,6 +205,309 @@ class PrivateL2Hierarchy : public MemoryHierarchy {
 /// Factory helpers used by the harness.
 std::unique_ptr<MemoryHierarchy> MakeCmpHierarchy(const HierarchyConfig& c);
 std::unique_ptr<MemoryHierarchy> MakeSmpHierarchy(const HierarchyConfig& c);
+
+// ---------------------------------------------------------------------------
+// SharedL2Hierarchy (CMP) — inline hot path
+// ---------------------------------------------------------------------------
+
+inline uint64_t SharedL2Hierarchy::PortDelay(uint64_t line_addr,
+                                             uint64_t now) {
+  // Requests are distributed over ports by line address (banked L2); a
+  // request waits until its bank's port frees, then occupies it.
+  const size_t p = static_cast<size_t>(line_addr) % port_free_.size();
+  const uint64_t start = std::max<uint64_t>(now, port_free_[p]);
+  const uint64_t delay = start - now;
+  port_free_[p] = start + config_.l2_port_occupancy;
+  stats_.queue_delay.Add(delay);
+  return delay;
+}
+
+inline void SharedL2Hierarchy::TrackL1Fill(uint32_t core, uint64_t line_addr,
+                                           bool is_write) {
+  DirEntry& e = l1_dir_.FindOrInsert(line_addr);
+  if (is_write) {
+    // Invalidate all other L1 copies.
+    uint32_t others = e.sharers & ~(1u << core);
+    if (others != 0) {
+      for (uint32_t c = 0; c < config_.num_cores; ++c) {
+        if (others & (1u << c)) {
+          l1d_[c].Invalidate(line_addr);
+          ++stats_.invalidations;
+        }
+      }
+    }
+    e.sharers = 1u << core;
+    e.dirty_owner = static_cast<int8_t>(core);
+  } else {
+    e.sharers |= 1u << core;
+  }
+}
+
+inline AccessResult SharedL2Hierarchy::AccessData(uint32_t core,
+                                                  uint64_t addr,
+                                                  bool is_write,
+                                                  uint64_t now) {
+  AccessResult r;
+  const uint64_t line = addr >> line_shift_;
+  Cache& l1 = l1d_[core];
+
+  const Cache::ProbeResult lp = l1.Probe(line);
+  if (l1.AccessAt(lp, is_write)) {
+    r.cls = AccessClass::kL1Hit;
+    r.latency = config_.lat.l1_hit;
+    if (is_write) {
+      // Write to a shared line: invalidate remote L1 copies.
+      if (DirEntry* e = l1_dir_.Find(line)) {
+        if ((e->sharers & ~(1u << core)) != 0) {
+          TrackL1Fill(core, line, /*is_write=*/true);
+        } else {
+          e->dirty_owner = static_cast<int8_t>(core);
+        }
+      }
+    }
+    ++stats_.data_count[static_cast<int>(r.cls)];
+    return r;
+  }
+
+  // L1 miss. Check for a dirty copy in a peer L1 (fast on-chip transfer).
+  DirEntry* de = l1_dir_.Find(line);
+  const bool dirty_remote =
+      de != nullptr && de->dirty_owner >= 0 &&
+      de->dirty_owner != static_cast<int8_t>(core) &&
+      l1d_[static_cast<uint32_t>(de->dirty_owner)].GetState(line) ==
+          LineState::kModified;
+
+  const uint64_t qd = PortDelay(line, now);
+  r.queue_delay = qd;
+
+  if (dirty_remote) {
+    // On-chip L1-to-L1 transfer through the shared L2 fabric. The remote
+    // copy is downgraded; the shared L2 absorbs the dirty data.
+    const uint32_t owner = static_cast<uint32_t>(de->dirty_owner);
+    l1d_[owner].Downgrade(line);
+    de->dirty_owner = -1;
+    const Cache::ProbeResult p2 = l2_.Probe(line);
+    if (!p2.hit()) l2_.FillAt(p2, line, /*is_write=*/true);
+    r.cls = AccessClass::kL2Hit;  // on-chip; paper counts these as L2 hits
+    r.latency = config_.lat.l1_transfer + qd;
+    ++stats_.l1_to_l1_transfers;
+  } else {
+    const Cache::ProbeResult p2 = l2_.Probe(line);
+    if (l2_.AccessAt(p2, /*is_write=*/false)) {
+      r.cls = AccessClass::kL2Hit;
+      r.latency = config_.lat.l2_hit + qd;
+    } else {
+      r.cls = AccessClass::kOffChip;
+      r.latency = config_.lat.memory + qd;
+      EvictedLine ev = l2_.FillAt(p2, line, is_write);
+      if (ev.valid && ev.dirty) ++stats_.writebacks;
+    }
+  }
+
+  EvictedLine l1ev = l1.FillAt(lp, line, is_write);
+  if (l1ev.valid) {
+    if (DirEntry* e = l1_dir_.Find(l1ev.line_addr)) {
+      e->sharers &= ~(1u << core);
+      if (e->dirty_owner == static_cast<int8_t>(core)) {
+        e->dirty_owner = -1;
+        // Dirty L1 victim is absorbed by the shared (writeback) L2.
+        if (l1ev.dirty) {
+          const Cache::ProbeResult pv = l2_.Probe(l1ev.line_addr);
+          if (!pv.hit()) l2_.FillAt(pv, l1ev.line_addr, /*is_write=*/true);
+        }
+      }
+      if (e->sharers == 0) l1_dir_.Erase(l1ev.line_addr);
+    }
+  }
+  TrackL1Fill(core, line, is_write);
+
+  ++stats_.data_count[static_cast<int>(r.cls)];
+  return r;
+}
+
+inline AccessResult SharedL2Hierarchy::AccessInstr(uint32_t core,
+                                                   uint64_t addr,
+                                                   uint64_t now) {
+  AccessResult r;
+  const uint64_t line = addr >> line_shift_;
+  Cache& l1 = l1i_[core];
+
+  const Cache::ProbeResult lp = l1.Probe(line);
+  if (l1.AccessAt(lp, /*is_write=*/false)) {
+    r.cls = AccessClass::kL1Hit;
+    r.latency = 0;  // fetch pipelined; no stall contribution
+    ++stats_.instr_count[static_cast<int>(r.cls)];
+    return r;
+  }
+
+  if (config_.stream_buffers && sbuf_[core].Probe(line)) {
+    r.cls = AccessClass::kL1Hit;  // near-hit; stream buffer supplies line
+    r.latency = config_.lat.stream_buffer_hit;
+    l1.FillAt(lp, line, /*is_write=*/false);
+    ++stats_.instr_count[static_cast<int>(r.cls)];
+    return r;
+  }
+
+  const uint64_t qd = PortDelay(line, now);
+  r.queue_delay = qd;
+  const Cache::ProbeResult p2 = l2_.Probe(line);
+  if (l2_.AccessAt(p2, /*is_write=*/false)) {
+    r.cls = AccessClass::kL2Hit;
+    r.latency = config_.lat.l2_hit + qd;
+  } else {
+    r.cls = AccessClass::kOffChip;
+    r.latency = config_.lat.memory + qd;
+    l2_.FillAt(p2, line, /*is_write=*/false);
+  }
+  l1.FillAt(lp, line, /*is_write=*/false);
+  if (config_.stream_buffers) sbuf_[core].Allocate(line);
+  ++stats_.instr_count[static_cast<int>(r.cls)];
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// PrivateL2Hierarchy (SMP) — inline hot path
+// ---------------------------------------------------------------------------
+
+inline AccessClass PrivateL2Hierarchy::FetchRemoteOrMemory(
+    uint32_t node, uint64_t line_addr, bool is_write,
+    const Cache::ProbeResult& p2, LineState* fill_state) {
+  // Snoop peers. Dirty-remote => cache-to-cache (coherence miss).
+  // Clean-remote on a write => invalidate peers, fetch from memory.
+  bool dirty_remote = false;
+  bool any_remote = false;
+  for (uint32_t n = 0; n < config_.num_cores; ++n) {
+    if (n == node) continue;
+    const Cache::ProbeResult pn = l2_[n].Probe(line_addr);
+    const LineState s = l2_[n].StateAt(pn);
+    if (s == LineState::kInvalid) continue;
+    any_remote = true;
+    if (s == LineState::kModified) dirty_remote = true;
+    if (is_write) {
+      l2_[n].InvalidateAt(pn);
+      l1d_[n].Invalidate(line_addr);
+      ++stats_.invalidations;
+    } else if (s == LineState::kModified || s == LineState::kExclusive) {
+      l2_[n].DowngradeAt(pn);
+      l1d_[n].SetState(line_addr, LineState::kShared);
+    }
+  }
+  *fill_state =
+      is_write ? LineState::kModified
+               : (any_remote ? LineState::kShared : LineState::kExclusive);
+  EvictedLine ev = l2_[node].FillAt(p2, line_addr, is_write, *fill_state);
+  if (ev.valid && ev.dirty) ++stats_.writebacks;
+  return dirty_remote ? AccessClass::kCoherence : AccessClass::kOffChip;
+}
+
+inline AccessResult PrivateL2Hierarchy::AccessData(uint32_t core,
+                                                   uint64_t addr,
+                                                   bool is_write,
+                                                   uint64_t now) {
+  (void)now;
+  AccessResult r;
+  const uint64_t line = addr >> line_shift_;
+
+  // L1D.
+  const Cache::ProbeResult lp = l1d_[core].Probe(line);
+  const LineState l1s = l1d_[core].StateAt(lp);
+  const bool l1_ok = l1s != LineState::kInvalid &&
+                     (!is_write || l1s == LineState::kModified ||
+                      l1s == LineState::kExclusive);
+  if (l1_ok) {
+    l1d_[core].AccessAt(lp, is_write);
+    r.cls = AccessClass::kL1Hit;
+    r.latency = config_.lat.l1_hit;
+    ++stats_.data_count[static_cast<int>(r.cls)];
+    return r;
+  }
+  // Present-but-unwritable (upgrade miss, write to Shared): refresh LRU.
+  // Absent: records the miss. Both are one AccessAt through the probe.
+  l1d_[core].AccessAt(lp, false);
+
+  // Private L2.
+  const Cache::ProbeResult p2 = l2_[core].Probe(line);
+  const LineState l2s = l2_[core].StateAt(p2);
+  const bool l2_ok = l2s != LineState::kInvalid &&
+                     (!is_write || l2s == LineState::kModified ||
+                      l2s == LineState::kExclusive);
+  // Whether the local L2 holds the line Shared once this access resolves
+  // (selects the L1 fill state below without re-probing the L2).
+  bool l2_shared_after = false;
+  if (l2_ok) {
+    l2_[core].AccessAt(p2, is_write);
+    r.cls = AccessClass::kL2Hit;
+    r.latency = config_.lat.l2_hit;
+    l2_shared_after = !is_write && l2s == LineState::kShared;
+  } else if (l2s == LineState::kShared && is_write) {
+    // Upgrade: invalidate remote sharers; bus transaction latency.
+    for (uint32_t n = 0; n < config_.num_cores; ++n) {
+      if (n == core) continue;
+      const Cache::ProbeResult pn = l2_[n].Probe(line);
+      if (l2_[n].StateAt(pn) != LineState::kInvalid) {
+        l2_[n].InvalidateAt(pn);
+        l1d_[n].Invalidate(line);
+        ++stats_.invalidations;
+      }
+    }
+    l2_[core].SetStateAt(p2, LineState::kModified);
+    l2_[core].AccessAt(p2, true);
+    r.cls = AccessClass::kCoherence;
+    r.latency = config_.lat.remote_l2 / 2;  // address-only transaction
+  } else {
+    l2_[core].AccessAt(p2, false);  // records the miss
+    LineState fill_state = LineState::kInvalid;
+    const AccessClass cls =
+        FetchRemoteOrMemory(core, line, is_write, p2, &fill_state);
+    r.cls = cls;
+    r.latency = cls == AccessClass::kCoherence ? config_.lat.remote_l2
+                                               : config_.lat.memory;
+    l2_shared_after = !is_write && fill_state == LineState::kShared;
+  }
+
+  l1d_[core].FillAt(lp, line, is_write,
+                    is_write ? LineState::kModified
+                             : (l2_shared_after ? LineState::kShared
+                                                : LineState::kExclusive));
+  // L1 victims are absorbed by the inclusive private L2.
+  ++stats_.data_count[static_cast<int>(r.cls)];
+  return r;
+}
+
+inline AccessResult PrivateL2Hierarchy::AccessInstr(uint32_t core,
+                                                    uint64_t addr,
+                                                    uint64_t now) {
+  (void)now;
+  AccessResult r;
+  const uint64_t line = addr >> line_shift_;
+  const Cache::ProbeResult lp = l1i_[core].Probe(line);
+  if (l1i_[core].AccessAt(lp, false)) {
+    r.cls = AccessClass::kL1Hit;
+    r.latency = 0;
+    ++stats_.instr_count[static_cast<int>(r.cls)];
+    return r;
+  }
+  if (config_.stream_buffers && sbuf_[core].Probe(line)) {
+    r.cls = AccessClass::kL1Hit;
+    r.latency = config_.lat.stream_buffer_hit;
+    l1i_[core].FillAt(lp, line, false);
+    ++stats_.instr_count[static_cast<int>(r.cls)];
+    return r;
+  }
+  const Cache::ProbeResult p2 = l2_[core].Probe(line);
+  if (l2_[core].AccessAt(p2, false)) {
+    r.cls = AccessClass::kL2Hit;
+    r.latency = config_.lat.l2_hit;
+  } else {
+    r.cls = AccessClass::kOffChip;
+    r.latency = config_.lat.memory;
+    l2_[core].FillAt(p2, line, false, LineState::kShared);
+  }
+  l1i_[core].FillAt(lp, line, false);
+  if (config_.stream_buffers) sbuf_[core].Allocate(line);
+  ++stats_.instr_count[static_cast<int>(r.cls)];
+  return r;
+}
 
 }  // namespace stagedcmp::memsim
 

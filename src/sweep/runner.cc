@@ -3,11 +3,13 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "sweep/trace_bundle.h"
 #include "sweep/trace_cache.h"
 
 namespace stagedcmp::sweep {
@@ -17,6 +19,26 @@ namespace {
 double SecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// The distinct trace-set configs of `cells` in canonical build order —
+/// the sequence the builder thread will realize and the unit a trace
+/// bundle persists. Identity is TraceSetCache::MakeKey, the same
+/// equivalence Get() dedups by.
+std::vector<harness::TraceSetConfig> DistinctConfigs(
+    const std::vector<Cell>& cells) {
+  std::vector<harness::TraceSetConfig> out;
+  for (const Cell& cell : cells) {
+    bool seen = false;
+    for (const harness::TraceSetConfig& c : out) {
+      if (TraceSetCache::MakeKey(c) == TraceSetCache::MakeKey(cell.trace)) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(cell.trace);
+  }
+  return out;
 }
 
 }  // namespace
@@ -34,6 +56,22 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
   TraceSetCache private_cache(factory_);
   TraceSetCache& cache = shared_cache_ ? *shared_cache_ : private_cache;
   const uint64_t builds_before = cache.stats().builds;
+
+  // Trace bundle: try to serve the whole build sequence from disk.
+  std::vector<harness::TraceSetConfig> distinct;
+  if (!options_.trace_bundle.empty() && !cells.empty()) {
+    const auto load_t0 = std::chrono::steady_clock::now();
+    distinct = DistinctConfigs(cells);
+    std::vector<harness::TraceSet> loaded;
+    if (LoadTraceBundle(options_.trace_bundle, *factory_, distinct,
+                        &loaded)) {
+      for (harness::TraceSet& ts : loaded) cache.Insert(std::move(ts));
+      report.bundle = "warm";
+    } else {
+      report.bundle = "cold";
+    }
+    report.load_wall_seconds = SecondsSince(load_t0);
+  }
 
   uint32_t threads = options_.threads;
   if (threads == 0) threads = std::thread::hardware_concurrency();
@@ -120,8 +158,22 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
     build_thread.join();
   }
   report.sim_wall_seconds = SecondsSince(sim_t0);
-  report.wall_seconds = SecondsSince(run_t0);
   report.trace_sets_built = cache.stats().builds - builds_before;
+
+  // A cold run with a bundle path persists what it just built (every
+  // Get() below is a cache hit; nothing rebuilds).
+  if (report.bundle == "cold" && !first_error) {
+    std::vector<const harness::TraceSet*> sets;
+    sets.reserve(distinct.size());
+    for (const harness::TraceSetConfig& c : distinct) {
+      sets.push_back(&cache.Get(c));
+    }
+    if (!SaveTraceBundle(options_.trace_bundle, *factory_, sets)) {
+      std::fprintf(stderr, "warning: could not write trace bundle '%s'\n",
+                   options_.trace_bundle.c_str());
+    }
+  }
+  report.wall_seconds = SecondsSince(run_t0);
 
   if (first_error) std::rethrow_exception(first_error);
   return report;

@@ -34,6 +34,11 @@ class TraceSetCache;
 struct RunnerOptions {
   /// Worker threads for the simulation phase; 0 = hardware concurrency.
   uint32_t threads = 0;
+  /// Optional trace-bundle file (see trace_bundle.h). When set, the run
+  /// loads its trace sets from this file if it matches the sweep's
+  /// canonical build sequence (warm: no generation at all) and rewrites
+  /// it after a cold build. Empty = no persistence.
+  std::string trace_bundle;
 };
 
 /// One executed cell: the cell itself plus everything measured.
@@ -54,15 +59,33 @@ struct SweepReport {
   std::string spec_name;
   std::vector<std::string> axis_names;
   uint32_t threads = 1;            ///< sim workers actually used
+  double load_wall_seconds = 0.0;  ///< trace-bundle probe/load (serial)
   double build_wall_seconds = 0.0; ///< builder thread (overlaps the sims)
   double sim_wall_seconds = 0.0;   ///< builder+worker pipeline wall-clock
   double wall_seconds = 0.0;       ///< end-to-end Run() wall-clock
   uint64_t trace_sets_built = 0;   ///< distinct TraceSetConfigs built
+  /// Trace-bundle disposition: "off" (no bundle configured), "cold"
+  /// (built fresh, bundle written), "warm" (all sets loaded from disk).
+  std::string bundle = "off";
   std::vector<CellResult> cells;
 
   double cells_per_second() const {
     return wall_seconds > 0.0
                ? static_cast<double>(cells.size()) / wall_seconds
+               : 0.0;
+  }
+  /// Total events the replay cores consumed across all cells.
+  uint64_t events_replayed() const {
+    uint64_t n = 0;
+    for (const CellResult& c : cells) n += c.result.events_replayed;
+    return n;
+  }
+  /// Replay throughput: events over the sim-pipeline phase (not the
+  /// end-to-end wall, which also contains bundle load and — on cold
+  /// runs — dominates with trace generation).
+  double events_per_second() const {
+    return sim_wall_seconds > 0.0
+               ? static_cast<double>(events_replayed()) / sim_wall_seconds
                : 0.0;
   }
 };

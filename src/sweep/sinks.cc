@@ -336,11 +336,40 @@ void EmitPerfSummary(const SweepReport& report, std::ostream& os) {
   o.Str("spec", report.spec_name);
   o.Int("threads", report.threads);
   o.Int("cells", report.cells.size());
+  o.Str("trace_bundle", report.bundle);
   o.Int("trace_sets_built", report.trace_sets_built);
-  o.Num("build_wall_seconds", report.build_wall_seconds);
-  o.Num("sim_wall_seconds", report.sim_wall_seconds);
+  // Per-phase wall clocks. bundle_load is serial; trace building overlaps
+  // the sim pipeline (builder thread + workers), so build/sim are not
+  // additive and wall_seconds is the end-to-end truth.
+  {
+    std::ostringstream sub;
+    JsonObj p(sub, 2);
+    p.Num("bundle_load_seconds", report.load_wall_seconds);
+    p.Num("build_wall_seconds", report.build_wall_seconds);
+    p.Num("sim_wall_seconds", report.sim_wall_seconds);
+    p.Close();
+    o.Field("phases", sub.str());
+  }
   o.Num("wall_seconds", report.wall_seconds);
   o.Num("cells_per_second", report.cells_per_second());
+  o.Int("events_replayed", report.events_replayed());
+  o.Num("events_per_second", report.events_per_second());
+  // Per-cell sim cost so a regression localizes to a cell, not a grid.
+  {
+    std::ostringstream cells;
+    cells << "[";
+    for (size_t i = 0; i < report.cells.size(); ++i) {
+      const CellResult& cr = report.cells[i];
+      cells << (i ? ",\n" : "\n") << JsonObj::Pad(4);
+      JsonObj c(cells, 4);
+      c.Int("index", cr.cell.index);
+      c.Int("events_replayed", cr.result.events_replayed);
+      c.Num("sim_wall_seconds", cr.sim_wall_seconds);
+      c.Close();
+    }
+    cells << "\n" << JsonObj::Pad(2) << "]";
+    o.Field("cells_detail", cells.str());
+  }
   o.Close();
   os << "\n";
 }

@@ -1,0 +1,189 @@
+#include "sweep/trace_bundle.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace stagedcmp::sweep {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x31444E4254435343ULL;  // "CSCTBND1"
+constexpr uint32_t kVersion = 1;
+
+/// Running checksum over every payload word, written as the bundle's
+/// final word: warm replays promise bit-identity, so silent on-disk
+/// corruption of event words must demote to a cold rebuild, exactly
+/// like any other mismatch.
+struct Checksum {
+  uint64_t state = 0xcbf29ce484222325ULL;
+  void Mix(uint64_t v) {
+    state ^= v;
+    state *= 0x100000001B3ULL;
+    state ^= state >> 29;
+  }
+  void MixAll(const uint64_t* p, size_t n) {
+    for (size_t i = 0; i < n; ++i) Mix(p[i]);
+  }
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU64(std::FILE* f, uint64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool ReadU64(std::FILE* f, uint64_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+/// The workload scale knobs that (besides the configs) determine trace
+/// bytes, flattened into a fixed-width block.
+std::vector<uint64_t> ScaleBlock(const harness::WorkloadFactory& factory) {
+  const workload::TpccConfig& tc = factory.tpcc_config;
+  const workload::TpchConfig& hc = factory.tpch_config;
+  return {tc.warehouses,        tc.districts_per_warehouse,
+          tc.customers_per_district, tc.items,
+          tc.initial_orders_per_district, tc.load_seed,
+          hc.orders,            hc.customers,
+          hc.parts,             hc.suppliers,
+          hc.partsupp_per_part, hc.max_lines_per_order,
+          hc.load_seed};
+}
+
+std::vector<uint64_t> ConfigBlock(const harness::TraceSetConfig& c) {
+  return {static_cast<uint64_t>(c.workload), c.clients,
+          c.requests_per_client, c.seed, static_cast<uint64_t>(c.engine)};
+}
+
+}  // namespace
+
+bool SaveTraceBundle(const std::string& path,
+                     const harness::WorkloadFactory& factory,
+                     const std::vector<const harness::TraceSet*>& sets) {
+  const std::string tmp = path + ".tmp";
+  // Single exit below removes the temp file on ANY failure — a write
+  // that dies mid-stream (e.g. disk full) must not strand a truncated
+  // multi-hundred-MB .tmp on the already-full disk.
+  const auto write_all = [&]() -> bool {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) return false;
+    Checksum sum;
+    const auto put = [&](uint64_t v) {
+      sum.Mix(v);
+      return WriteU64(f.get(), v);
+    };
+    if (!put(kMagic) || !put(kVersion)) return false;
+    for (uint64_t v : ScaleBlock(factory)) {
+      if (!put(v)) return false;
+    }
+    if (!put(sets.size())) return false;
+    for (const harness::TraceSet* ts : sets) {
+      for (uint64_t v : ConfigBlock(ts->config)) {
+        if (!put(v)) return false;
+      }
+      if (!put(ts->total_instructions) || !put(ts->total_events) ||
+          !put(ts->traces.size())) {
+        return false;
+      }
+      for (const trace::ClientTrace& t : ts->traces) {
+        if (!put(t.requests) || !put(t.total_instructions) ||
+            !put(t.events.size())) {
+          return false;
+        }
+        sum.MixAll(t.events.data(), t.events.size());
+        if (!t.events.empty() &&
+            std::fwrite(t.events.data(), sizeof(uint64_t), t.events.size(),
+                        f.get()) != t.events.size()) {
+          return false;
+        }
+      }
+    }
+    if (!WriteU64(f.get(), sum.state)) return false;
+    // Surface buffered-write failures (disk full at flush time) here;
+    // FileCloser's fclose cannot report them.
+    return std::fflush(f.get()) == 0 && std::ferror(f.get()) == 0;
+  };
+  if (!write_all() || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LoadTraceBundle(const std::string& path,
+                     const harness::WorkloadFactory& factory,
+                     const std::vector<harness::TraceSetConfig>& expected,
+                     std::vector<harness::TraceSet>* out) {
+  out->clear();
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  // Upper bound for every count read below: a corrupted length word must
+  // be rejected here, not handed to vector::resize (whose length_error /
+  // bad_alloc would escape and kill the run instead of falling back to a
+  // cold build).
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) return false;
+  const long file_bytes = std::ftell(f.get());
+  if (file_bytes < 0 || std::fseek(f.get(), 0, SEEK_SET) != 0) return false;
+  const uint64_t max_items = static_cast<uint64_t>(file_bytes) / 8;
+  Checksum sum;
+  uint64_t v = 0;
+  const auto get = [&](uint64_t* dst) {
+    if (!ReadU64(f.get(), dst)) return false;
+    sum.Mix(*dst);
+    return true;
+  };
+  if (!get(&v) || v != kMagic) return false;
+  if (!get(&v) || v != kVersion) return false;
+  for (uint64_t want : ScaleBlock(factory)) {
+    if (!get(&v) || v != want) return false;
+  }
+  if (!get(&v) || v != expected.size()) return false;
+  out->reserve(expected.size());
+  for (const harness::TraceSetConfig& cfg : expected) {
+    for (uint64_t want : ConfigBlock(cfg)) {
+      if (!get(&v) || v != want) return false;
+    }
+    harness::TraceSet ts;
+    ts.config = cfg;
+    if (!get(&ts.total_instructions) || !get(&ts.total_events) || !get(&v)) {
+      return false;
+    }
+    // Each serialized trace occupies at least 3 words, and a ClientTrace
+    // object is several times larger than a word — bound accordingly so
+    // a corrupt count cannot drive resize into bad_alloc.
+    if (v > max_items / 3) return false;
+    ts.traces.resize(v);
+    for (trace::ClientTrace& t : ts.traces) {
+      uint64_t requests = 0, n_events = 0;
+      if (!get(&requests) || !get(&t.total_instructions) ||
+          !get(&n_events)) {
+        return false;
+      }
+      if (n_events > max_items) return false;
+      t.requests = static_cast<uint32_t>(requests);
+      t.events.resize(n_events);
+      if (n_events != 0 &&
+          std::fread(t.events.data(), sizeof(uint64_t), n_events, f.get()) !=
+              n_events) {
+        return false;
+      }
+      sum.MixAll(t.events.data(), t.events.size());
+    }
+    out->push_back(std::move(ts));
+  }
+  // Checksum over every word above must match, and nothing may trail it:
+  // flipped payload bits demote to a cold rebuild like any mismatch.
+  uint64_t stored_sum = 0;
+  if (!ReadU64(f.get(), &stored_sum) || stored_sum != sum.state) return false;
+  uint8_t extra = 0;
+  if (std::fread(&extra, 1, 1, f.get()) != 0) return false;
+  return true;
+}
+
+}  // namespace stagedcmp::sweep

@@ -1,0 +1,51 @@
+// Disk persistence for built trace sets — the record-once / replay-many
+// half of the paper's trace-driven methodology. Generating a workload
+// trace means loading multi-hundred-MB databases and natively executing
+// every query/transaction; replaying it is the simulator's job and needs
+// only the packed event streams. A bundle captures the *ordered sequence*
+// of trace sets one sweep builds so later runs of the same sweep skip
+// generation entirely.
+//
+// Why the whole sequence and not one file per set: trace generation
+// mutates shared state (workload databases, the global code-region map),
+// so a set's bytes depend on every build before it (see trace_cache.h).
+// A bundle is therefore all-or-nothing: it loads only when its recorded
+// config sequence exactly matches the sweep's canonical build order and
+// the factory's workload scale knobs are unchanged. Any mismatch — or a
+// short/corrupt file — falls back to a cold build (which then rewrites
+// the bundle).
+//
+// Staleness caveat: the format records configs and scales, not the
+// engine's code. After changing trace generation itself (workloads,
+// db substrates, tracer), delete stale bundles — scripts/check.sh
+// regenerates its bundle on every run for exactly this reason.
+//
+// Format is native-endian and version-gated; bundles are a local cache,
+// not an interchange format.
+#ifndef STAGEDCMP_SWEEP_TRACE_BUNDLE_H_
+#define STAGEDCMP_SWEEP_TRACE_BUNDLE_H_
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace stagedcmp::sweep {
+
+/// Writes `sets` (in build order) to `path` atomically (temp + rename).
+/// Returns false on any I/O failure.
+bool SaveTraceBundle(const std::string& path,
+                     const harness::WorkloadFactory& factory,
+                     const std::vector<const harness::TraceSet*>& sets);
+
+/// Loads `path` into `out` iff the bundle's config sequence equals
+/// `expected` (the sweep's distinct configs in canonical build order)
+/// and the factory's scale knobs match. On false, `out` is unspecified.
+bool LoadTraceBundle(const std::string& path,
+                     const harness::WorkloadFactory& factory,
+                     const std::vector<harness::TraceSetConfig>& expected,
+                     std::vector<harness::TraceSet>* out);
+
+}  // namespace stagedcmp::sweep
+
+#endif  // STAGEDCMP_SWEEP_TRACE_BUNDLE_H_

@@ -37,6 +37,24 @@ const harness::TraceSet& TraceSetCache::Get(
   return *it->second;
 }
 
+const harness::TraceSet& TraceSetCache::Insert(harness::TraceSet&& set) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const Key key = MakeKey(set.config);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return *it->second;
+  auto owned = std::make_unique<harness::TraceSet>(std::move(set));
+  owned->Pointers();  // warm while exclusive, as in Get()
+  it = cache_.emplace(key, std::move(owned)).first;
+  return *it->second;
+}
+
+void TraceSetCache::EvictAll() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Destroying the entries frees their event buffers (the effect
+  // ClientTrace::Release() gives holders that keep the object alive).
+  cache_.clear();
+}
+
 TraceSetCache::Stats TraceSetCache::stats() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   Stats s;

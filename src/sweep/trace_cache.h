@@ -42,16 +42,32 @@ class TraceSetCache {
   /// Returns the trace set for `config`, building it on first request.
   const harness::TraceSet& Get(const harness::TraceSetConfig& config);
 
+  /// Pre-populates the cache with an already-built set (e.g. loaded from
+  /// a disk bundle); counts as neither a hit nor a build. If the config
+  /// is already cached the existing entry wins and `set` is dropped.
+  const harness::TraceSet& Insert(harness::TraceSet&& set);
+
+  /// Drops every cached trace set, releasing event storage via
+  /// ClientTrace::Release(). The caller must guarantee no returned
+  /// reference is still in use (call between sweeps, never during one) —
+  /// this is the eviction path that keeps long-lived caches from holding
+  /// the peak working set of every sweep they ever served.
+  void EvictAll();
+
   struct Stats {
     uint64_t hits = 0;    ///< Get() calls served from the cache
     uint64_t builds = 0;  ///< distinct configs actually built
   };
   Stats stats() const;
 
- private:
+  /// Canonical identity of a TraceSetConfig — THE definition of "same
+  /// trace set" (the runner's dedup and the bundle sequence match both
+  /// go through it, so a new config field only needs adding here and in
+  /// the bundle serializer).
   using Key = std::tuple<uint8_t, uint32_t, uint32_t, uint64_t, uint8_t>;
   static Key MakeKey(const harness::TraceSetConfig& c);
 
+ private:
   harness::WorkloadFactory* factory_;
   mutable std::shared_mutex mu_;
   std::map<Key, std::unique_ptr<harness::TraceSet>> cache_;

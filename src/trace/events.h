@@ -74,8 +74,19 @@ struct ClientTrace {
   uint64_t total_instructions = 0;
   uint32_t requests = 0;  ///< number of kMarker events
 
+  /// Empties the trace but keeps the event buffer's capacity — the right
+  /// call when the same ClientTrace is about to be refilled (Tracer::Reset
+  /// between recordings).
   void Clear() {
     events.clear();
+    total_instructions = 0;
+    requests = 0;
+  }
+  /// Clear() plus freeing the event buffer. Eviction paths (e.g. the
+  /// sweep TraceSetCache) use this so a dropped trace set returns its
+  /// memory instead of holding peak capacity.
+  void Release() {
+    std::vector<uint64_t>().swap(events);
     total_instructions = 0;
     requests = 0;
   }

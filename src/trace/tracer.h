@@ -15,7 +15,7 @@
 #include <cassert>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "trace/events.h"
@@ -82,21 +82,16 @@ class Tracer {
   void EnterRegion(const CodeRegion& r) {
     if (!enabled_ || !r.valid() || r.base == region_.base) return;
     FlushCompute();
-    region_pc_[region_.base] = {pc_off_, win_base_};  // suspend this region
+    SuspendedPcFor(region_.base) = {pc_off_, win_base_};  // suspend
     region_ = r;
     // Resume where this operator's code last executed. The PC loops inside
     // a hot window (the current loop body / branch paths) that slowly
     // drifts across the region, so each operator has a loop-like hot spot
     // while its full footprint is covered over time — interleaving many
     // operators per tuple is what overflows the L1I.
-    auto it = region_pc_.find(r.base);
-    if (it == region_pc_.end()) {
-      pc_off_ = 0;
-      win_base_ = 0;
-    } else {
-      pc_off_ = it->second.pc;
-      win_base_ = it->second.win;
-    }
+    const RegionPc resume = SuspendedPcFor(r.base);
+    pc_off_ = resume.pc;
+    win_base_ = resume.win;
     jump_pending_ = true;
     Compute(8);  // call/prologue overhead; also forces the PC jump to emit
   }
@@ -220,6 +215,18 @@ class Tracer {
     uint32_t win = 0;
   };
 
+  /// Suspended-PC slot for the region based at `base`, created zeroed on
+  /// first use. EnterRegion runs on every operator switch — per tuple on
+  /// a Volcano plan — and only ever sees the dozen-odd registered
+  /// regions, so a linear scan of a flat array beats a hash probe.
+  RegionPc& SuspendedPcFor(uint64_t base) {
+    for (auto& e : region_pc_) {
+      if (e.first == base) return e.second;
+    }
+    region_pc_.emplace_back(base, RegionPc{});
+    return region_pc_.back().second;
+  }
+
   ClientTrace trace_;
   CodeRegion region_;
   uint32_t pc_off_ = 0;
@@ -228,7 +235,7 @@ class Tracer {
   uint32_t instrs_since_sync_ = 0;
   bool jump_pending_ = false;
   bool enabled_ = true;
-  std::unordered_map<uint64_t, RegionPc> region_pc_;
+  std::vector<std::pair<uint64_t, RegionPc>> region_pc_;
 };
 
 }  // namespace stagedcmp::trace

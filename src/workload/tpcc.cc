@@ -136,6 +136,14 @@ const char* TpccTxnName(TpccTxnType t) {
 
 void TpccLoad(Database* db, const TpccConfig& cfg) {
   Rng rng(cfg.load_seed);
+  // Stack-buffered random CHAR fill: same generator draws as
+  // Rng::AlphaString, but the millions of column fills below stay off
+  // the heap (string churn here dominated trace-build profiles).
+  char sbuf[192];
+  auto FillAlpha = [&](TupleRef& t, size_t col, int lo, int hi) {
+    t.SetChars(col, sbuf,
+               static_cast<size_t>(rng.AlphaStringInto(sbuf, lo, hi)));
+  };
 
   Table* warehouse = db->CreateTable("warehouse", WarehouseSchema());
   Table* district = db->CreateTable("district", DistrictSchema());
@@ -164,9 +172,9 @@ void TpccLoad(Database* db, const TpccConfig& cfg) {
     TupleRef t(&item->schema, buf.data());
     t.SetInt(I_ID, i);
     t.SetInt(I_IM_ID, rng.Uniform(1, 10000));
-    t.SetString(I_NAME, rng.AlphaString(14, 24));
+    FillAlpha(t, I_NAME, 14, 24);
     t.SetDouble(I_PRICE, static_cast<double>(rng.Uniform(100, 10000)) / 100.0);
-    t.SetString(I_DATA, rng.AlphaString(26, 40));
+    FillAlpha(t, I_DATA, 26, 40);
     Rid rid = item->heap->Insert(buf.data(), nullptr);
     idx_i->Insert(TpccKeys::Item(i), rid.Encode(), nullptr);
   }
@@ -175,8 +183,8 @@ void TpccLoad(Database* db, const TpccConfig& cfg) {
     {
       TupleRef t(&warehouse->schema, buf.data());
       t.SetInt(W_ID, w);
-      t.SetString(W_NAME, rng.AlphaString(6, 10));
-      t.SetString(W_CITY, rng.AlphaString(10, 16));
+      FillAlpha(t, W_NAME, 6, 10);
+      FillAlpha(t, W_CITY, 10, 16);
       t.SetString(W_STATE, "CA");
       t.SetString(W_ZIP, "123456789");
       t.SetDouble(W_TAX, rng.NextDouble() * 0.2);
@@ -193,8 +201,8 @@ void TpccLoad(Database* db, const TpccConfig& cfg) {
       t.SetDouble(S_YTD, 0.0);
       t.SetInt(S_ORDER_CNT, 0);
       t.SetInt(S_REMOTE_CNT, 0);
-      t.SetString(S_DIST, rng.AlphaString(24, 48));
-      t.SetString(S_DATA, rng.AlphaString(26, 40));
+      FillAlpha(t, S_DIST, 24, 48);
+      FillAlpha(t, S_DATA, 26, 40);
       Rid rid = stock->heap->Insert(buf.data(), nullptr);
       idx_s->Insert(TpccKeys::Stock(w, i), rid.Encode(), nullptr);
     }
@@ -203,7 +211,7 @@ void TpccLoad(Database* db, const TpccConfig& cfg) {
         TupleRef t(&district->schema, buf.data());
         t.SetInt(D_ID, d);
         t.SetInt(D_W_ID, w);
-        t.SetString(D_NAME, rng.AlphaString(6, 10));
+        FillAlpha(t, D_NAME, 6, 10);
         t.SetDouble(D_TAX, rng.NextDouble() * 0.2);
         t.SetDouble(D_YTD, 30000.0);
         t.SetInt(D_NEXT_O_ID, cfg.initial_orders_per_district + 1);
@@ -217,16 +225,16 @@ void TpccLoad(Database* db, const TpccConfig& cfg) {
         t.SetInt(C_ID, c);
         t.SetInt(C_D_ID, d);
         t.SetInt(C_W_ID, w);
-        t.SetString(C_FIRST, rng.AlphaString(8, 16));
-        t.SetString(C_LAST, rng.AlphaString(8, 16));
-        t.SetString(C_STREET, rng.AlphaString(10, 20));
+        FillAlpha(t, C_FIRST, 8, 16);
+        FillAlpha(t, C_LAST, 8, 16);
+        FillAlpha(t, C_STREET, 10, 20);
         t.SetDouble(C_BALANCE, -10.0);
         t.SetDouble(C_YTD_PAYMENT, 10.0);
         t.SetInt(C_PAYMENT_CNT, 1);
         t.SetInt(C_DELIVERY_CNT, 0);
         t.SetString(C_CREDIT, rng.Uniform(0, 9) ? "GC" : "BC");
         t.SetDouble(C_DISCOUNT, rng.NextDouble() * 0.5);
-        t.SetString(C_DATA, rng.AlphaString(100, 160));
+        FillAlpha(t, C_DATA, 100, 160);
         Rid rid = customer->heap->Insert(buf.data(), nullptr);
         idx_c->Insert(TpccKeys::Customer(w, d, c), rid.Encode(), nullptr);
       }
@@ -264,7 +272,7 @@ void TpccLoad(Database* db, const TpccConfig& cfg) {
           lt.SetInt(OL_QUANTITY, 5);
           lt.SetDouble(OL_AMOUNT,
                        static_cast<double>(rng.Uniform(1, 999999)) / 100.0);
-          lt.SetString(OL_DIST_INFO, rng.AlphaString(24, 24));
+          FillAlpha(lt, OL_DIST_INFO, 24, 24);
           Rid lrid = order_line->heap->Insert(buf.data(), nullptr);
           idx_ol->Insert(TpccKeys::OrderLine(w, d, o, l), lrid.Encode(),
                          nullptr);

@@ -126,6 +126,13 @@ void TpchLoad(Database* db, const TpchConfig& cfg) {
   Table* supplier = db->CreateTable("supplier", SupplierSchema());
 
   std::vector<uint8_t> buf(512);
+  // Allocation-free random CHAR fill; identical draws to Rng::AlphaString
+  // (see TpccLoad).
+  char sbuf[192];
+  auto FillAlpha = [&](TupleRef& t, size_t col, int lo, int hi) {
+    t.SetChars(col, sbuf,
+               static_cast<size_t>(rng.AlphaStringInto(sbuf, lo, hi)));
+  };
 
   for (uint32_t s = 1; s <= cfg.suppliers; ++s) {
     TupleRef t(&supplier->schema, buf.data());
@@ -133,7 +140,7 @@ void TpchLoad(Database* db, const TpchConfig& cfg) {
     t.SetInt(S_NATIONKEY, rng.Uniform(0, 24));
     t.SetDouble(S_ACCTBAL, rng.NextDouble() * 10000.0);
     t.SetInt(S_COMMENT_CLASS, rng.Uniform(0, 9));
-    t.SetString(S_NAME, rng.AlphaString(12, 24));
+    FillAlpha(t, S_NAME, 12, 24);
     supplier->heap->Insert(buf.data(), nullptr);
   }
 
@@ -144,8 +151,8 @@ void TpchLoad(Database* db, const TpchConfig& cfg) {
     t.SetInt(P_TYPE, rng.Uniform(0, 149));      // 150 types
     t.SetInt(P_SIZE, rng.Uniform(1, 50));
     t.SetDouble(P_RETAIL, 900.0 + rng.NextDouble() * 1000.0);
-    t.SetString(P_NAME, rng.AlphaString(20, 32));
-    t.SetString(P_MFGR, rng.AlphaString(8, 16));
+    FillAlpha(t, P_NAME, 20, 32);
+    FillAlpha(t, P_MFGR, 8, 16);
     part->heap->Insert(buf.data(), nullptr);
     for (uint32_t k = 0; k < cfg.partsupp_per_part; ++k) {
       TupleRef ps(&partsupp->schema, buf.data());
@@ -163,8 +170,8 @@ void TpchLoad(Database* db, const TpchConfig& cfg) {
     t.SetInt(C_NATIONKEY, rng.Uniform(0, 24));
     t.SetDouble(C_ACCTBAL, rng.NextDouble() * 10000.0 - 1000.0);
     t.SetInt(C_MKTSEGMENT, rng.Uniform(0, 4));
-    t.SetString(C_NAME, rng.AlphaString(12, 24));
-    t.SetString(C_ADDRESS, rng.AlphaString(16, 32));
+    FillAlpha(t, C_NAME, 12, 24);
+    FillAlpha(t, C_ADDRESS, 16, 32);
     customer->heap->Insert(buf.data(), nullptr);
   }
 
@@ -182,7 +189,7 @@ void TpchLoad(Database* db, const TpchConfig& cfg) {
     t.SetInt(O_PRIORITY, rng.Uniform(0, 4));
     t.SetInt(O_COMMENT_CLASS, rng.Uniform(0, 9));
     t.SetInt(O_ONE, 1);
-    t.SetString(O_COMMENT, rng.AlphaString(16, 24));
+    FillAlpha(t, O_COMMENT, 16, 24);
     orders->heap->Insert(buf.data(), nullptr);
 
     const uint32_t nlines =
@@ -212,7 +219,7 @@ void TpchLoad(Database* db, const TpchConfig& cfg) {
       lt.SetInt(L_RECEIPTDATE, shipdate + rng.Uniform(1, 30));
       lt.SetDouble(L_DISCPRICE, price * (1.0 - disc));
       lt.SetDouble(L_REVENUE, price * disc);
-      lt.SetString(L_COMMENT, rng.AlphaString(12, 20));
+      FillAlpha(lt, L_COMMENT, 12, 20);
       lineitem->heap->Insert(buf.data(), nullptr);
       total += price;
     }

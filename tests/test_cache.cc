@@ -148,6 +148,188 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(4096ull, 16384ull, 65536ull),
                        ::testing::Values(16u, 64u, 256u, 2048u)));
 
+// -- Single-probe API ------------------------------------------------------
+
+TEST(CacheProbeTest, ProbeDoesNotDisturbStateOrCounters) {
+  Cache c(Small());
+  c.Fill(3, false);
+  const Cache::ProbeResult p = c.Probe(3);
+  EXPECT_TRUE(p.hit());
+  EXPECT_EQ(c.StateAt(p), LineState::kExclusive);
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_FALSE(c.Probe(99).hit());
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(CacheProbeTest, OneProbeServesAccessAndFill) {
+  Cache c(Small());
+  const Cache::ProbeResult miss = c.Probe(7);
+  EXPECT_FALSE(c.AccessAt(miss, false));
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_FALSE(c.FillAt(miss, 7, false).valid);
+  EXPECT_TRUE(c.Contains(7));
+
+  const Cache::ProbeResult hit = c.Probe(7);
+  EXPECT_TRUE(c.AccessAt(hit, true));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.StateAt(hit), LineState::kModified);
+}
+
+TEST(CacheProbeTest, FillAtOnResidentLineUpdatesInPlace) {
+  Cache c(Small());
+  c.Fill(5, false);
+  const uint64_t valid_before = c.CountValid();
+  const Cache::ProbeResult p = c.Probe(5);
+  EXPECT_FALSE(c.FillAt(p, 5, /*is_write=*/true).valid);
+  EXPECT_EQ(c.CountValid(), valid_before);  // no duplicate way
+  EXPECT_EQ(c.GetState(5), LineState::kModified);
+}
+
+TEST(CacheProbeTest, InvalidateAndDowngradeAt) {
+  Cache c(Small());
+  c.Fill(4, true);
+  EXPECT_TRUE(c.DowngradeAt(c.Probe(4)));
+  EXPECT_EQ(c.GetState(4), LineState::kShared);
+  c.SetStateAt(c.Probe(4), LineState::kModified);
+  EXPECT_TRUE(c.InvalidateAt(c.Probe(4)));
+  EXPECT_FALSE(c.Contains(4));
+  EXPECT_EQ(c.writebacks(), 1u);
+  EXPECT_FALSE(c.InvalidateAt(c.Probe(4)));
+}
+
+// -- Reference-model equivalence -------------------------------------------
+//
+// A deliberately naive LRU cache model — per-set vector of {tag, state}
+// ordered by recency — driven in lockstep with the real array through a
+// random operation mix. Pins the rebuilt SoA/probe implementation to the
+// documented semantics independent of implementation details.
+class ReferenceCache {
+ public:
+  explicit ReferenceCache(const CacheConfig& cfg) : cfg_(cfg) {
+    sets_.resize(cfg.num_sets());
+  }
+
+  bool Access(uint64_t line, bool is_write) {
+    auto& set = SetFor(line);
+    for (size_t i = 0; i < set.size(); ++i) {
+      if (set[i].line == line) {
+        Entry e = set[i];
+        set.erase(set.begin() + static_cast<long>(i));
+        if (is_write) e.state = LineState::kModified;
+        set.push_back(e);  // back == MRU
+        ++hits;
+        return true;
+      }
+    }
+    ++misses;
+    return false;
+  }
+
+  EvictedLine Fill(uint64_t line, bool is_write, LineState st) {
+    EvictedLine out;
+    auto& set = SetFor(line);
+    for (size_t i = 0; i < set.size(); ++i) {
+      if (set[i].line == line) {
+        Entry e = set[i];
+        set.erase(set.begin() + static_cast<long>(i));
+        e.state = is_write ? LineState::kModified : st;
+        set.push_back(e);
+        return out;
+      }
+    }
+    if (set.size() == cfg_.associativity) {
+      out.valid = true;
+      out.dirty = set.front().state == LineState::kModified;
+      out.line_addr = set.front().line;
+      if (out.dirty) ++writebacks;
+      set.erase(set.begin());
+    }
+    set.push_back({line, is_write ? LineState::kModified : st});
+    return out;
+  }
+
+  bool Invalidate(uint64_t line) {
+    auto& set = SetFor(line);
+    for (size_t i = 0; i < set.size(); ++i) {
+      if (set[i].line == line) {
+        const bool dirty = set[i].state == LineState::kModified;
+        set.erase(set.begin() + static_cast<long>(i));
+        if (dirty) ++writebacks;
+        return dirty;
+      }
+    }
+    return false;
+  }
+
+  LineState GetState(uint64_t line) {
+    for (const Entry& e : SetFor(line)) {
+      if (e.line == line) return e.state;
+    }
+    return LineState::kInvalid;
+  }
+
+  uint64_t CountValid() const {
+    uint64_t n = 0;
+    for (const auto& s : sets_) n += s.size();
+    return n;
+  }
+
+  uint64_t hits = 0, misses = 0, writebacks = 0;
+
+ private:
+  struct Entry {
+    uint64_t line;
+    LineState state;
+  };
+  std::vector<Entry>& SetFor(uint64_t line) {
+    return sets_[line & (cfg_.num_sets() - 1)];
+  }
+
+  CacheConfig cfg_;
+  std::vector<std::vector<Entry>> sets_;
+};
+
+TEST(CacheReferenceModelTest, RandomOpsMatchNaiveLruModel) {
+  const CacheConfig cfg{16384, 4, 64};  // 64 sets x 4 ways
+  Cache real(cfg);
+  ReferenceCache ref(cfg);
+  Rng rng(2024);
+  constexpr uint64_t kLines = 1024;  // 4x capacity => constant evictions
+  for (int i = 0; i < 1'000'000; ++i) {
+    const uint64_t line = rng.Next() % kLines;
+    switch (rng.Next() % 8) {
+      case 6: {  // coherence invalidation
+        EXPECT_EQ(real.Invalidate(line), ref.Invalidate(line));
+        break;
+      }
+      case 7: {  // state inspection
+        EXPECT_EQ(real.GetState(line), ref.GetState(line));
+        break;
+      }
+      default: {  // access, fill on miss (the replay pattern)
+        const bool is_write = (rng.Next() & 3) == 0;
+        const bool hit_real = real.Access(line, is_write);
+        ASSERT_EQ(hit_real, ref.Access(line, is_write)) << "op " << i;
+        if (!hit_real) {
+          const EvictedLine a = real.Fill(line, is_write);
+          const EvictedLine b = ref.Fill(line, is_write, LineState::kExclusive);
+          ASSERT_EQ(a.valid, b.valid) << "op " << i;
+          if (a.valid) {
+            EXPECT_EQ(a.line_addr, b.line_addr);
+            EXPECT_EQ(a.dirty, b.dirty);
+          }
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(real.hits(), ref.hits);
+  EXPECT_EQ(real.misses(), ref.misses);
+  EXPECT_EQ(real.writebacks(), ref.writebacks);
+  EXPECT_EQ(real.CountValid(), ref.CountValid());
+}
+
 // Random-access determinism: same seed => same counters.
 TEST(CacheTest, DeterministicUnderSameSeed) {
   auto run = [] {

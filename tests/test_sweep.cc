@@ -2,6 +2,7 @@
 // determinism (thread-count invariance, byte-identical serialized
 // output), and equivalence with direct RunExperiment calls.
 #include <atomic>
+#include <fstream>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "sweep/runner.h"
 #include "sweep/sinks.h"
 #include "sweep/spec.h"
+#include "sweep/trace_bundle.h"
 #include "sweep/trace_cache.h"
 
 namespace stagedcmp {
@@ -231,6 +233,161 @@ TEST(SweepRunner, CellsMatchDirectRunExperimentCalls) {
         harness::RunExperiment(cr.cell.exp, traces);
     ExpectSameResult(cr.result, direct, cr.cell.index);
   }
+}
+
+TEST(ClientTrace, ClearKeepsCapacityReleaseFreesIt) {
+  trace::ClientTrace t;
+  for (uint64_t i = 0; i < 1000; ++i) t.events.push_back(i);
+  t.total_instructions = 7;
+  t.requests = 3;
+  const size_t cap = t.events.capacity();
+  ASSERT_GE(cap, 1000u);
+
+  t.Clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.total_instructions, 0u);
+  EXPECT_EQ(t.requests, 0u);
+  EXPECT_EQ(t.events.capacity(), cap);  // refill path keeps the buffer
+
+  t.Release();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.events.capacity(), 0u);  // eviction path returns the memory
+}
+
+TEST(TraceSetCache, EvictAllDropsEntriesAndAllowsRebuild) {
+  harness::WorkloadFactory factory;
+  sweep::TraceSetCache cache(&factory);
+  harness::TraceSetConfig cfg;
+  cfg.workload = harness::WorkloadKind::kOltp;
+  cfg.clients = 2;
+  cfg.requests_per_client = 2;
+  cfg.seed = 11;
+
+  const harness::TraceSet& first = cache.Get(cfg);
+  EXPECT_FALSE(first.traces.empty());
+  EXPECT_EQ(cache.stats().builds, 1u);
+  cache.Get(cfg);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  cache.EvictAll();
+  const harness::TraceSet& rebuilt = cache.Get(cfg);
+  EXPECT_FALSE(rebuilt.traces.empty());
+  EXPECT_EQ(cache.stats().builds, 2u);  // evicted entry was really dropped
+}
+
+TEST(TraceBundle, SaveThenLoadRoundTripsEveryEvent) {
+  harness::WorkloadFactory factory;
+  harness::TraceSetConfig cfg;
+  cfg.workload = harness::WorkloadKind::kOltp;
+  cfg.clients = 2;
+  cfg.requests_per_client = 2;
+  cfg.seed = 23;
+  const harness::TraceSet built = factory.Build(cfg);
+
+  const std::string path = ::testing::TempDir() + "bundle_roundtrip.traces";
+  ASSERT_TRUE(sweep::SaveTraceBundle(path, factory, {&built}));
+
+  std::vector<harness::TraceSet> loaded;
+  ASSERT_TRUE(sweep::LoadTraceBundle(path, factory, {cfg}, &loaded));
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].total_instructions, built.total_instructions);
+  EXPECT_EQ(loaded[0].total_events, built.total_events);
+  ASSERT_EQ(loaded[0].traces.size(), built.traces.size());
+  for (size_t i = 0; i < built.traces.size(); ++i) {
+    EXPECT_EQ(loaded[0].traces[i].requests, built.traces[i].requests);
+    EXPECT_EQ(loaded[0].traces[i].total_instructions,
+              built.traces[i].total_instructions);
+    EXPECT_EQ(loaded[0].traces[i].events, built.traces[i].events);
+  }
+
+  // A different expected sequence or different scale knobs must reject.
+  harness::TraceSetConfig other = cfg;
+  other.seed = 24;
+  EXPECT_FALSE(sweep::LoadTraceBundle(path, factory, {other}, &loaded));
+  harness::WorkloadFactory rescaled;
+  rescaled.tpcc_config.warehouses += 1;
+  EXPECT_FALSE(sweep::LoadTraceBundle(path, rescaled, {cfg}, &loaded));
+
+  // Corruption must reject gracefully (fall back to a cold build), never
+  // throw: a truncated file and an absurd in-band length word.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream trunc(path, std::ios::binary | std::ios::trunc);
+    trunc.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size() / 2));
+    trunc.close();
+    EXPECT_FALSE(sweep::LoadTraceBundle(path, factory, {cfg}, &loaded));
+
+    // Restore, then blow up the per-client event count (it lives after
+    // the header+config+set preamble; stomping a mid-file word with
+    // 2^62 must hit *some* length or payload check, not vector::resize).
+    std::ofstream rewrite(path, std::ios::binary | std::ios::trunc);
+    rewrite.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    rewrite.close();
+    std::fstream stomp(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+    const uint64_t huge = 1ull << 62;
+    stomp.seekp(26 * 8);  // first length-bearing region after the header
+    stomp.write(reinterpret_cast<const char*>(&huge), 8);
+    stomp.close();
+    EXPECT_FALSE(sweep::LoadTraceBundle(path, factory, {cfg}, &loaded));
+
+    // A single flipped bit in the event payload must fail the checksum
+    // (warm replays promise bit-identity with the run that recorded).
+    std::ofstream rewrite2(path, std::ios::binary | std::ios::trunc);
+    rewrite2.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    rewrite2.close();
+    std::fstream flip(path, std::ios::binary | std::ios::in | std::ios::out);
+    flip.seekg(static_cast<std::streamoff>(bytes.size() / 2));
+    char b = 0;
+    flip.read(&b, 1);
+    b = static_cast<char>(b ^ 0x10);
+    flip.seekp(static_cast<std::streamoff>(bytes.size() / 2));
+    flip.write(&b, 1);
+    flip.close();
+    EXPECT_FALSE(sweep::LoadTraceBundle(path, factory, {cfg}, &loaded));
+  }
+}
+
+TEST(TraceBundle, WarmSweepReplaysBitIdenticalToColdSweep) {
+  const std::string path = ::testing::TempDir() + "bundle_sweep.traces";
+  std::remove(path.c_str());
+
+  auto run = [&](harness::WorkloadFactory* factory) {
+    sweep::RunnerOptions options;
+    options.threads = 1;
+    options.trace_bundle = path;
+    sweep::SweepRunner runner(factory, options);
+    return runner.Run(TinySpec());
+  };
+  // Cold: generates traces and writes the bundle.
+  harness::WorkloadFactory cold_factory;
+  const sweep::SweepReport cold = run(&cold_factory);
+  EXPECT_EQ(cold.bundle, "cold");
+  EXPECT_GT(cold.trace_sets_built, 0u);
+
+  // Warm, with a FRESH factory: nothing may regenerate, and because the
+  // bundle preserves trace bytes exactly, every simulated metric — and
+  // the serialized JSON — must be bit-identical to the cold run.
+  harness::WorkloadFactory warm_factory;
+  const sweep::SweepReport warm = run(&warm_factory);
+  EXPECT_EQ(warm.bundle, "warm");
+  EXPECT_EQ(warm.trace_sets_built, 0u);
+
+  ASSERT_EQ(cold.cells.size(), warm.cells.size());
+  for (size_t i = 0; i < cold.cells.size(); ++i) {
+    ExpectSameResult(cold.cells[i].result, warm.cells[i].result, i);
+  }
+  auto to_json = [](const sweep::SweepReport& r) {
+    std::ostringstream os;
+    sweep::JsonSink(/*include_timing=*/false).Emit(r, os);
+    return os.str();
+  };
+  EXPECT_EQ(to_json(cold), to_json(warm));
+  std::remove(path.c_str());
 }
 
 TEST(BuiltinSpecs, AllNamesExpandToTheExpectedGrids) {

@@ -6,6 +6,7 @@
 
 #include <unordered_map>
 
+#include "bench/bench_util.h"
 #include "common/arena.h"
 #include "common/flat_hash.h"
 #include "common/rng.h"
@@ -172,6 +173,31 @@ static void BM_TpccNewOrderNative(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TpccNewOrderNative);
+
+// SMP coherence churn at 64 nodes (benchutil::SmpChurnStream — the same
+// stream sweep_main's --smp-dir-probe measures): the snoop arm probes
+// all 63 peers per local L2 miss; the directory arm visits only the
+// sharers bitmap's set bits (usually zero or one). Same access stream
+// for both arms — the gap is pure coherence-resolution cost.
+template <typename Hierarchy>
+static void SmpCoherenceChurn(benchmark::State& state) {
+  Hierarchy h(benchutil::SmpChurnStream::Config());
+  benchutil::SmpChurnStream stream;
+  uint64_t now = 0;
+  for (auto _ : state) {
+    const benchutil::SmpChurnStream::Access a = stream.Next();
+    h.AccessData(a.node, a.addr, a.is_write, ++now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+static void BM_SmpSnoopChurn(benchmark::State& state) {
+  SmpCoherenceChurn<memsim::PrivateL2SnoopHierarchy>(state);
+}
+BENCHMARK(BM_SmpSnoopChurn);
+static void BM_SmpDirectoryChurn(benchmark::State& state) {
+  SmpCoherenceChurn<memsim::PrivateL2Hierarchy>(state);
+}
+BENCHMARK(BM_SmpDirectoryChurn);
 
 static void BM_CmpHierarchyAccess(benchmark::State& state) {
   memsim::HierarchyConfig hc;

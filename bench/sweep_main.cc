@@ -14,6 +14,7 @@
 // that are byte-stable across processes (grid, configs, trace-set
 // totals; the simulated metrics shift with heap placement), which is
 // what scripts/check.sh diffs against tests/golden/sweep_smoke.json.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,8 @@
 #include <iostream>
 #include <string>
 
+#include "bench/bench_util.h"
+#include "memsim/hierarchy.h"
 #include "sweep/builtin_specs.h"
 #include "sweep/runner.h"
 #include "sweep/sinks.h"
@@ -34,7 +37,8 @@ int Usage(const char* argv0, int code) {
       code == 0 ? stdout : stderr,
       "usage: %s --spec NAME [--threads N] [--format table|json|csv]\n"
       "          [--out FILE] [--perf-out FILE] [--trace-bundle FILE]\n"
-      "          [--deterministic]\n"
+      "          [--deterministic] [--smp-snoop-reference]\n"
+      "          [--smp-dir-probe]\n"
       "       %s --list\n"
       "\n"
       "  --spec NAME       built-in grid to run (see --list)\n"
@@ -47,9 +51,84 @@ int Usage(const char* argv0, int code) {
       "                    otherwise the cold build rewrites it. Delete\n"
       "                    the file after changing trace generation.\n"
       "  --deterministic   omit timing fields from json/csv output\n"
-      "  --golden          process-invariant JSON (for golden diffs)\n",
+      "  --golden          process-invariant JSON (for golden diffs)\n"
+      "  --smp-snoop-reference\n"
+      "                    resolve SMP coherence via the broadcast-snoop\n"
+      "                    reference arm instead of the sharers-bitmap\n"
+      "                    directory (results must be byte-identical;\n"
+      "                    scripts/check.sh diffs the two)\n"
+      "  --smp-dir-probe   with --perf-out: measure directory-vs-snoop\n"
+      "                    native throughput on a 64-node private-L2\n"
+      "                    machine and record it as the perf summary's\n"
+      "                    \"smp_directory\" section\n",
       argv0, argv0);
   return code;
+}
+
+/// Directory-vs-snoop native-throughput probe: drives both SMP arms with
+/// an identical 64-node coherence-churn stream (benchutil::SmpChurnStream
+/// — the same workload micro_kernels' BM_Smp*Churn measures) — the point
+/// of the fig8-style core-count axis where the snoop's O(num_cores)
+/// probes per miss hurt most. Returns the "smp_directory" JSON section
+/// for the perf summary; sets *stats_match to whether the two arms'
+/// stats came out bit-identical (they must).
+std::string RunSmpDirProbe(bool* stats_match) {
+  constexpr uint32_t kNodes = benchutil::SmpChurnStream::kNodes;
+  constexpr uint64_t kAccesses = 2'000'000;
+
+  const memsim::HierarchyConfig hc = benchutil::SmpChurnStream::Config();
+
+  // Generic over the concrete hierarchy type so the access calls
+  // devirtualize, exactly like the replay engine's per-type
+  // instantiation — the measured gap is coherence resolution, not
+  // dispatch.
+  auto drive = [&](auto& h) {
+    benchutil::SmpChurnStream stream;
+    uint64_t now = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < kAccesses; ++i) {
+      const benchutil::SmpChurnStream::Access a = stream.Next();
+      h.AccessData(a.node, a.addr, a.is_write, ++now);
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+  auto stats_fp = [](const memsim::MemoryHierarchy& h) {
+    const memsim::HierarchyStats& s = h.stats();
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%llu/%llu/%llu/%llu/%llu/%llu",
+                  static_cast<unsigned long long>(s.data_count[0]),
+                  static_cast<unsigned long long>(s.data_count[1]),
+                  static_cast<unsigned long long>(s.data_count[2]),
+                  static_cast<unsigned long long>(s.data_count[3]),
+                  static_cast<unsigned long long>(s.invalidations),
+                  static_cast<unsigned long long>(s.writebacks));
+    return std::string(buf);
+  };
+
+  memsim::PrivateL2SnoopHierarchy snoop(hc);
+  memsim::PrivateL2Hierarchy dir(hc);
+  const double snoop_secs = drive(snoop);
+  const double dir_secs = drive(dir);
+  *stats_match = stats_fp(snoop) == stats_fp(dir);
+
+  const double snoop_aps = static_cast<double>(kAccesses) / snoop_secs;
+  const double dir_aps = static_cast<double>(kAccesses) / dir_secs;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "    \"nodes\": %u,\n"
+                "    \"accesses_per_arm\": %llu,\n"
+                "    \"stats_bit_identical\": %s,\n"
+                "    \"snoop_accesses_per_second\": %.17g,\n"
+                "    \"directory_accesses_per_second\": %.17g,\n"
+                "    \"speedup\": %.17g\n"
+                "  }",
+                kNodes, static_cast<unsigned long long>(kAccesses),
+                *stats_match ? "true" : "false", snoop_aps, dir_aps,
+                dir_aps / snoop_aps);
+  return buf;
 }
 
 }  // namespace
@@ -64,6 +143,8 @@ int main(int argc, char** argv) {
   bool deterministic = false;
   bool golden = false;
   bool list = false;
+  bool smp_snoop_reference = false;
+  bool smp_dir_probe = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,6 +179,10 @@ int main(int argc, char** argv) {
       deterministic = true;
     } else if (arg == "--golden") {
       golden = true;
+    } else if (arg == "--smp-snoop-reference") {
+      smp_snoop_reference = true;
+    } else if (arg == "--smp-dir-probe") {
+      smp_dir_probe = true;
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -118,6 +203,13 @@ int main(int argc, char** argv) {
   }
 
   if (spec_name.empty()) return Usage(argv[0], 2);
+  if (smp_dir_probe && perf_path.empty()) {
+    // The probe only reports through the perf summary; accepting it
+    // without --perf-out would silently skip both the measurement and
+    // its arm-divergence check.
+    std::fprintf(stderr, "--smp-dir-probe requires --perf-out\n");
+    return 2;
+  }
   if (!sweep::HasBuiltinSpec(spec_name)) {
     std::fprintf(stderr, "unknown spec '%s'; try --list\n",
                  spec_name.c_str());
@@ -146,7 +238,11 @@ int main(int argc, char** argv) {
   options.threads = threads;
   options.trace_bundle = bundle_path;
   sweep::SweepRunner runner(&factory, options);
-  const sweep::SweepReport report = runner.Run(sweep::BuiltinSpec(spec_name));
+  sweep::SweepSpec spec = sweep::BuiltinSpec(spec_name);
+  // Axis mutators assign individual fields, so a base-config override
+  // reaches every cell.
+  if (smp_snoop_reference) spec.base_exp.smp_snoop_reference = true;
+  const sweep::SweepReport report = runner.Run(spec);
 
   if (out_path.empty()) {
     sink->Emit(report, std::cout);
@@ -160,12 +256,22 @@ int main(int argc, char** argv) {
   }
 
   if (!perf_path.empty()) {
+    std::vector<sweep::PerfSection> extras;
+    bool probe_stats_match = true;
+    if (smp_dir_probe) {
+      extras.push_back({"smp_directory", RunSmpDirProbe(&probe_stats_match)});
+    }
     std::ofstream perf(perf_path);
     if (!perf) {
       std::fprintf(stderr, "cannot open '%s'\n", perf_path.c_str());
       return 1;
     }
-    sweep::EmitPerfSummary(report, perf);
+    sweep::EmitPerfSummary(report, perf, extras);
+    if (!probe_stats_match) {
+      std::fprintf(stderr,
+                   "--smp-dir-probe: directory and snoop arms diverged\n");
+      return 1;
+    }
   }
   return 0;
 }

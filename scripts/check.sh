@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# Full verification: the tier-1 build/test pass (Release) followed by an
-# ASan+UBSan Debug pass over the whole test suite. Both passes also run
-# the sweep engine's smoke grid: the tier-1 pass emits the
-# BENCH_sweep.json perf trajectory (cells/sec, wall-clock), the
-# sanitizer pass diffs the process-invariant --golden JSON against
+# Full verification: a static docs pass (link + spec drift), the tier-1
+# build/test pass (Release), then an ASan+UBSan Debug pass over the whole
+# test suite. Both build passes also run the sweep engine's smoke grid:
+# the tier-1 pass emits the BENCH_sweep.json perf trajectory (cells/sec,
+# wall-clock, SMP directory-vs-snoop probe), diffs the smokesmp grid's
+# directory and snoop-reference arms byte-for-byte, and the sanitizer
+# pass diffs the process-invariant --golden JSON against
 # tests/golden/sweep_smoke.json.
 #
-#   scripts/check.sh              # both passes
-#   scripts/check.sh --tier1      # tier-1 only
-#   scripts/check.sh --sanitize   # sanitizer pass only
+#   scripts/check.sh              # all passes
+#   scripts/check.sh --tier1      # docs + tier-1 only
+#   scripts/check.sh --sanitize   # docs + sanitizer pass only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,6 +26,51 @@ esac
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
+echo "==> docs: internal links + sweep-spec drift"
+docs_fail=0
+# Every relative markdown link in README.md and docs/*.md must resolve
+# (targets are relative to the linking file's directory).
+while IFS=: read -r file match; do
+  link="${match#](}"
+  link="${link%)}"
+  case "$link" in
+    http://*|https://*|mailto:*|"#"*) continue ;;
+  esac
+  target="${link%%#*}"
+  [[ -z "$target" ]] && continue
+  # Only path-shaped targets: code blocks legitimately contain `](`
+  # (C++ lambdas in capture lists), which are not links.
+  [[ "$target" =~ ^[A-Za-z0-9._/-]+$ ]] || continue
+  if [[ ! -e "$(dirname "$file")/$target" ]]; then
+    echo "FAIL: $file links to missing '$link'" >&2
+    docs_fail=1
+  fi
+done < <(grep -HoE '\]\([^)]+\)' README.md docs/*.md)
+# Sweep-spec drift, both directions: every `--spec NAME` in README must
+# be a builtin, and every builtin name must be documented in README.
+builtin_names=$(sed -n '/^std::vector<std::string> BuiltinSpecNames/,/^}/p' \
+                  src/sweep/builtin_specs.cc | grep -oE '"[a-z0-9]+"' \
+                | tr -d '"')
+if [[ -z "$builtin_names" ]]; then
+  echo "FAIL: could not extract BuiltinSpecNames from builtin_specs.cc" >&2
+  docs_fail=1
+fi
+for s in $(grep -oE '\-\-spec [a-z0-9]+' README.md | awk '{print $2}' \
+           | sort -u); do
+  if ! grep -qw "$s" <<<"$builtin_names"; then
+    echo "FAIL: README uses --spec $s, which is not a builtin spec" >&2
+    docs_fail=1
+  fi
+done
+for s in $builtin_names; do
+  if ! grep -q "\`$s\`" README.md; then
+    echo "FAIL: builtin spec '$s' is not documented in README" >&2
+    docs_fail=1
+  fi
+done
+[[ $docs_fail -eq 0 ]] || exit 1
+echo "    docs OK"
+
 if [[ $run_tier1 -eq 1 ]]; then
   echo "==> tier-1: Release build + ctest"
   cmake -B build -S .
@@ -38,13 +85,37 @@ if [[ $run_tier1 -eq 1 ]]; then
     --trace-bundle build/smoke.traces --out build/sweep_smoke_golden.json
   diff -u tests/golden/sweep_smoke.json build/sweep_smoke_golden.json
   # Warm pass: replay-only single-thread trajectory (the committed
-  # BENCH_sweep.json baseline is measured exactly this way). Known scope
-  # limit: the gate below therefore watches replay throughput only —
-  # trace-GENERATION slowdowns show up in the cold pass's wall clock but
-  # are not gated (too noisy on shared CI hardware).
+  # BENCH_sweep.json baseline is measured exactly this way), plus the
+  # 64-node SMP directory-vs-snoop probe recorded as the summary's
+  # "smp_directory" section. Known scope limit: the gate below therefore
+  # watches replay throughput only — trace-GENERATION slowdowns show up
+  # in the cold pass's wall clock but are not gated (too noisy on shared
+  # CI hardware).
   ./build/bench/sweep_main --spec smoke --threads 1 --format json \
     --trace-bundle build/smoke.traces --out /dev/null \
-    --perf-out build/BENCH_sweep_fresh.json
+    --perf-out build/BENCH_sweep_fresh.json --smp-dir-probe
+  # The probe drives both SMP coherence arms with one access stream;
+  # their stats must come out bit-identical (sweep_main exits non-zero
+  # and records false here otherwise).
+  grep -q '"stats_bit_identical": true' build/BENCH_sweep_fresh.json
+
+  echo "==> SMP coherence: directory arm vs snoop reference, byte-identical"
+  # Cold golden run writes the bundle; the two warm arms then replay the
+  # exact same trace bytes, so their full deterministic JSON — simulated
+  # metrics included — must match byte-for-byte across processes.
+  rm -f build/smokesmp.traces
+  ./build/bench/sweep_main --spec smokesmp --threads 4 --golden \
+    --trace-bundle build/smokesmp.traces \
+    --out build/sweep_smokesmp_golden.json
+  diff -u tests/golden/sweep_smokesmp.json build/sweep_smokesmp_golden.json
+  ./build/bench/sweep_main --spec smokesmp --threads 4 --format json \
+    --deterministic --trace-bundle build/smokesmp.traces \
+    --out build/smokesmp_directory.json
+  ./build/bench/sweep_main --spec smokesmp --threads 4 --format json \
+    --deterministic --smp-snoop-reference \
+    --trace-bundle build/smokesmp.traces \
+    --out build/smokesmp_snoop.json
+  diff -u build/smokesmp_directory.json build/smokesmp_snoop.json
 
   echo "==> perf gate: cells/sec within 20% of committed BENCH_sweep.json"
   # The gate compares absolute throughput against a baseline committed

@@ -129,7 +129,8 @@ coresim::SimResult RunExperiment(const ExperimentConfig& config,
   std::unique_ptr<memsim::MemoryHierarchy> hierarchy =
       config.topology == Topology::kCmpShared
           ? memsim::MakeCmpHierarchy(hc)
-          : memsim::MakeSmpHierarchy(hc);
+          : (config.smp_snoop_reference ? memsim::MakeSmpSnoopHierarchy(hc)
+                                        : memsim::MakeSmpHierarchy(hc));
 
   coresim::SimConfig sc;
   sc.core = MakeCoreParams(config.camp);

@@ -120,6 +120,12 @@ struct ExperimentConfig {
   uint32_t l2_ports = 0;          ///< 0 = auto (scale with banks)
   uint32_t memory_latency = 400;
   uint32_t fixed_l2_latency = 4;  ///< used when latency == kFixed4
+  /// SMP topology only: resolve coherence through the broadcast-snoop
+  /// reference arm instead of the sharers-bitmap directory. Simulated
+  /// results must be identical either way (scripts/check.sh diffs the
+  /// two); deliberately excluded from sweep output so the arms'
+  /// serialized cells stay byte-comparable.
+  bool smp_snoop_reference = false;
 };
 
 /// Resolved hardware view (for reporting).

@@ -4,14 +4,6 @@ namespace stagedcmp::memsim {
 
 namespace {
 bool IsPow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
-uint32_t Log2(uint64_t x) {
-  uint32_t n = 0;
-  while (x > 1) {
-    x >>= 1;
-    ++n;
-  }
-  return n;
-}
 }  // namespace
 
 Status Cache::Validate(const CacheConfig& c) {
@@ -37,7 +29,7 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   assert(s.ok());
   (void)s;
   num_sets_ = config.num_sets();
-  set_shift_ = Log2(num_sets_);
+  set_shift_ = Log2Floor(num_sets_);
   const size_t ways = num_sets_ * config.associativity;
   tags_.assign(ways, 0);
   lru_.assign(ways, 0);

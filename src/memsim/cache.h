@@ -28,6 +28,17 @@
 
 namespace stagedcmp::memsim {
 
+/// floor(log2(x)) for x >= 1: the line/set shift computation shared by
+/// the cache and the hierarchies.
+inline uint32_t Log2Floor(uint64_t x) {
+  uint32_t n = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+}
+
 /// Line coherence state (MESI). Plain caches only use kInvalid/kExclusive/
 /// kModified; the SMP coherence layer also uses kShared.
 enum class LineState : uint8_t {
@@ -235,6 +246,16 @@ class Cache {
 
   /// Number of valid lines currently resident (O(capacity); tests only).
   uint64_t CountValid() const;
+
+  /// Visits every resident line as (line_addr, state). O(capacity);
+  /// directory-oracle checks and tests only.
+  template <typename Fn>
+  void ForEachValidLine(Fn&& fn) const {
+    for (size_t i = 0; i < tags_.size(); ++i) {
+      if (states_[i] == LineState::kInvalid) continue;
+      fn(LineAddrFrom(tags_[i], i / config_.associativity), states_[i]);
+    }
+  }
 
  private:
   size_t SetIndex(uint64_t line_addr) const {

@@ -5,17 +5,6 @@
 
 namespace stagedcmp::memsim {
 
-namespace {
-uint32_t Log2(uint64_t x) {
-  uint32_t n = 0;
-  while (x > 1) {
-    x >>= 1;
-    ++n;
-  }
-  return n;
-}
-}  // namespace
-
 const char* AccessClassName(AccessClass c) {
   switch (c) {
     case AccessClass::kL1Hit: return "L1-hit";
@@ -33,7 +22,7 @@ const char* AccessClassName(AccessClass c) {
 
 SharedL2Hierarchy::SharedL2Hierarchy(const HierarchyConfig& config)
     : config_(config), l2_(config.l2) {
-  line_shift_ = Log2(config.l2.line_bytes);
+  line_shift_ = Log2Floor(config.l2.line_bytes);
   for (uint32_t i = 0; i < config.num_cores; ++i) {
     l1i_.emplace_back(config.l1i);
     l1d_.emplace_back(config.l1d);
@@ -68,59 +57,30 @@ double SharedL2Hierarchy::L1IHitRate() const {
 }
 
 // ---------------------------------------------------------------------------
-// PrivateL2Hierarchy (SMP)
+// PrivateL2HierarchyImpl (SMP)
 // ---------------------------------------------------------------------------
 
-PrivateL2Hierarchy::PrivateL2Hierarchy(const HierarchyConfig& config)
-    : config_(config) {
-  line_shift_ = Log2(config.l2.line_bytes);
-  for (uint32_t i = 0; i < config.num_cores; ++i) {
-    l1i_.emplace_back(config.l1i);
-    l1d_.emplace_back(config.l1d);
-    l2_.emplace_back(config.l2);
-    sbuf_.emplace_back(config.stream_buffer_count, config.stream_buffer_depth);
-  }
-}
-
-void PrivateL2Hierarchy::ResetStats() {
-  stats_ = HierarchyStats();
-  for (Cache& c : l1i_) c.ResetCounters();
-  for (Cache& c : l1d_) c.ResetCounters();
-  for (Cache& c : l2_) c.ResetCounters();
-}
-
-double PrivateL2Hierarchy::L1DHitRate() const {
-  uint64_t h = 0, m = 0;
-  for (const Cache& c : l1d_) {
-    h += c.hits();
-    m += c.misses();
-  }
-  return (h + m) ? static_cast<double>(h) / static_cast<double>(h + m) : 0.0;
-}
-
-double PrivateL2Hierarchy::L1IHitRate() const {
-  uint64_t h = 0, m = 0;
-  for (const Cache& c : l1i_) {
-    h += c.hits();
-    m += c.misses();
-  }
-  return (h + m) ? static_cast<double>(h) / static_cast<double>(h + m) : 0.0;
-}
-
-double PrivateL2Hierarchy::L2HitRate() const {
-  uint64_t h = 0, m = 0;
-  for (const Cache& c : l2_) {
-    h += c.hits();
-    m += c.misses();
-  }
-  return (h + m) ? static_cast<double>(h) / static_cast<double>(h + m) : 0.0;
-}
+// Both arms' methods are templates defined in hierarchy.h. These
+// instantiations force every member of both arms to compile even in a
+// build whose TUs exercise only one of them. Deliberately NOT paired
+// with `extern template` declarations in the header: suppressing
+// per-TU instantiation would also stop the replay engine from inlining
+// the per-access methods, which is the whole point of the design.
+template class PrivateL2HierarchyImpl<true>;   // directory (default)
+template class PrivateL2HierarchyImpl<false>;  // broadcast-snoop reference
 
 std::unique_ptr<MemoryHierarchy> MakeCmpHierarchy(const HierarchyConfig& c) {
   return std::make_unique<SharedL2Hierarchy>(c);
 }
 std::unique_ptr<MemoryHierarchy> MakeSmpHierarchy(const HierarchyConfig& c) {
+  // The directory's sharers bitmap covers 64 nodes; larger machines run
+  // the broadcast snoop, which is bit-identical and has no node limit.
+  if (c.num_cores > 64) return std::make_unique<PrivateL2SnoopHierarchy>(c);
   return std::make_unique<PrivateL2Hierarchy>(c);
+}
+std::unique_ptr<MemoryHierarchy> MakeSmpSnoopHierarchy(
+    const HierarchyConfig& c) {
+  return std::make_unique<PrivateL2SnoopHierarchy>(c);
 }
 
 }  // namespace stagedcmp::memsim

@@ -14,15 +14,21 @@
 // AND inlines the whole event path — trace event to cache probe with no
 // indirect call. Each access resolves each cache level with a single
 // `Cache::Probe` whose handle is reused for the hit/fill/state steps, and
-// the CMP L1 directory is a flat open-addressed table (common/flat_hash.h)
-// probed inline. The `MemoryHierarchy` interface remains the virtual
-// facade for the harness and any external hierarchy implementation.
+// both coherence directories — the CMP L1 directory and the SMP private-L2
+// sharers-bitmap directory — are flat open-addressed tables
+// (common/flat_hash.h) probed inline. The `MemoryHierarchy` interface
+// remains the virtual facade for the harness and any external hierarchy
+// implementation. The SMP coherence protocol itself is documented in
+// docs/COHERENCE.md.
 #ifndef STAGEDCMP_MEMSIM_HIERARCHY_H_
 #define STAGEDCMP_MEMSIM_HIERARCHY_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/flat_hash.h"
@@ -165,12 +171,38 @@ class SharedL2Hierarchy final : public MemoryHierarchy {
   uint32_t line_shift_;
 };
 
+/// Coherence-directory entry over the private L2s: which nodes hold the
+/// line in any non-Invalid state (`sharers`, one bit per node, so the SMP
+/// hierarchy supports up to 64 nodes) and which node, if any, holds it
+/// Modified in its L2 (`dirty_owner`, -1 for none). The directory mirrors
+/// L2 state only — an L1-Modified line whose L2 copy is still Exclusive
+/// has dirty_owner == -1, matching what a snoop of the L2s would see.
+struct SmpDirEntry {
+  uint64_t sharers = 0;
+  int8_t dirty_owner = -1;
+};
+
 /// SMP: each node has split L1s and a private L2; MESI over the L2s.
 /// Dirty-remote reads are long-latency cache-to-cache transfers; writes to
 /// remotely-shared lines invalidate (subsequent remote reads then miss).
-class PrivateL2Hierarchy final : public MemoryHierarchy {
+/// The full protocol — states, inclusion rules, transition table, counter
+/// attribution — is documented in docs/COHERENCE.md.
+///
+/// Two arms share this implementation, selected at compile time:
+///   * kUseDirectory = true (`PrivateL2Hierarchy`, the default): a
+///     sharers-bitmap directory (`FlatMap64<SmpDirEntry>`) kept exactly in
+///     sync by every L2 fill, invalidation, downgrade and eviction. L2
+///     misses and write upgrades visit only the bitmap's set bits, so
+///     coherence cost scales with the number of actual holders instead of
+///     with num_cores.
+///   * kUseDirectory = false (`PrivateL2SnoopHierarchy`): the original
+///     broadcast snoop that probes every peer L2 per miss/upgrade. Kept as
+///     the reference arm; tests/test_directory_equivalence.cc and
+///     scripts/check.sh pin the two arms bit-identical.
+template <bool kUseDirectory>
+class PrivateL2HierarchyImpl final : public MemoryHierarchy {
  public:
-  explicit PrivateL2Hierarchy(const HierarchyConfig& config);
+  explicit PrivateL2HierarchyImpl(const HierarchyConfig& config);
 
   inline AccessResult AccessData(uint32_t core, uint64_t addr, bool is_write,
                                  uint64_t now) override;
@@ -184,6 +216,17 @@ class PrivateL2Hierarchy final : public MemoryHierarchy {
   double L1IHitRate() const override;
   double L2HitRate() const override;
 
+  /// The coherence directory (empty for the snoop arm). Tests only.
+  const FlatMap64<SmpDirEntry>& directory() const { return l2_dir_; }
+
+  /// Cross-checks the directory against the actual L2 contents, both
+  /// ways: every resident L2 line must have its node's sharer bit set
+  /// (with dirty_owner pointing at the node iff that L2 copy is
+  /// Modified), and every directory bit must correspond to a resident
+  /// line. O(total L2 capacity); returns an empty string when
+  /// consistent, else a description of the first violation. Tests only.
+  std::string CheckDirectoryInvariants() const;
+
  private:
   /// Fetches a line into node caches after local L2 miss (probe `p2` of
   /// the node's L2 is reused for the fill). Returns the access class and
@@ -193,18 +236,41 @@ class PrivateL2Hierarchy final : public MemoryHierarchy {
                                          const Cache::ProbeResult& p2,
                                          LineState* fill_state);
 
+  /// Directory bookkeeping for an L2 eviction: node no longer holds the
+  /// victim line. Called on every valid `EvictedLine` an L2 fill returns
+  /// (data and instruction paths alike) so the bitmap never goes stale.
+  inline void DirNoteEviction(uint32_t node, const EvictedLine& ev) {
+    SmpDirEntry* e = l2_dir_.Find(ev.line_addr);
+    if (e == nullptr) return;
+    e->sharers &= ~(uint64_t{1} << node);
+    if (e->dirty_owner == static_cast<int8_t>(node)) e->dirty_owner = -1;
+    if (e->sharers == 0) l2_dir_.Erase(ev.line_addr);
+  }
+
   HierarchyConfig config_;
   std::vector<Cache> l1i_;
   std::vector<Cache> l1d_;
   std::vector<Cache> l2_;  // one private L2 per node
   std::vector<StreamBufferFile> sbuf_;
+  // line -> {sharers bitmap, dirty owner} over the private L2s. Flat
+  // open-addressed table (same rationale as the CMP L1 directory):
+  // probed on every L2 miss, upgrade, fill and eviction.
+  FlatMap64<SmpDirEntry> l2_dir_;
   HierarchyStats stats_;
   uint32_t line_shift_;
 };
 
+/// Directory-based SMP hierarchy (the default; coherence actions visit
+/// only the line's actual holders).
+using PrivateL2Hierarchy = PrivateL2HierarchyImpl<true>;
+/// Broadcast-snoop reference arm (O(num_cores) probes per miss/upgrade).
+using PrivateL2SnoopHierarchy = PrivateL2HierarchyImpl<false>;
+
 /// Factory helpers used by the harness.
 std::unique_ptr<MemoryHierarchy> MakeCmpHierarchy(const HierarchyConfig& c);
 std::unique_ptr<MemoryHierarchy> MakeSmpHierarchy(const HierarchyConfig& c);
+std::unique_ptr<MemoryHierarchy> MakeSmpSnoopHierarchy(
+    const HierarchyConfig& c);
 
 // ---------------------------------------------------------------------------
 // SharedL2Hierarchy (CMP) — inline hot path
@@ -366,21 +432,26 @@ inline AccessResult SharedL2Hierarchy::AccessInstr(uint32_t core,
 }
 
 // ---------------------------------------------------------------------------
-// PrivateL2Hierarchy (SMP) — inline hot path
+// PrivateL2HierarchyImpl (SMP) — inline hot path, both arms
 // ---------------------------------------------------------------------------
 
-inline AccessClass PrivateL2Hierarchy::FetchRemoteOrMemory(
+template <bool kUseDirectory>
+inline AccessClass PrivateL2HierarchyImpl<kUseDirectory>::FetchRemoteOrMemory(
     uint32_t node, uint64_t line_addr, bool is_write,
     const Cache::ProbeResult& p2, LineState* fill_state) {
-  // Snoop peers. Dirty-remote => cache-to-cache (coherence miss).
-  // Clean-remote on a write => invalidate peers, fetch from memory.
+  // Resolve remote holders. Dirty-remote => cache-to-cache (coherence
+  // miss). Clean-remote on a write => invalidate peers, fetch from memory.
   bool dirty_remote = false;
   bool any_remote = false;
-  for (uint32_t n = 0; n < config_.num_cores; ++n) {
-    if (n == node) continue;
+  // The per-peer action, shared verbatim by both arms: the directory may
+  // only change WHICH peers get visited, never what happens to a visited
+  // one. A set bit over an Invalid line (stale directory — a bug, see
+  // CheckDirectoryInvariants) falls out as the same no-op a snoop of
+  // that peer would be.
+  auto visit_peer = [&](uint32_t n) {
     const Cache::ProbeResult pn = l2_[n].Probe(line_addr);
     const LineState s = l2_[n].StateAt(pn);
-    if (s == LineState::kInvalid) continue;
+    if (s == LineState::kInvalid) return;
     any_remote = true;
     if (s == LineState::kModified) dirty_remote = true;
     if (is_write) {
@@ -391,19 +462,49 @@ inline AccessClass PrivateL2Hierarchy::FetchRemoteOrMemory(
       l2_[n].DowngradeAt(pn);
       l1d_[n].SetState(line_addr, LineState::kShared);
     }
+  };
+  if constexpr (kUseDirectory) {
+    // Visit only the directory's set bits — the actual holders — instead
+    // of snooping all num_cores peers.
+    SmpDirEntry* de = l2_dir_.Find(line_addr);
+    uint64_t rest = de ? de->sharers & ~(uint64_t{1} << node) : 0;
+    while (rest != 0) {
+      visit_peer(static_cast<uint32_t>(__builtin_ctzll(rest)));
+      rest &= rest - 1;
+    }
+    if (de != nullptr) {
+      if (is_write) {
+        // All peers invalidated; the filler re-registers below.
+        de->sharers = 0;
+        de->dirty_owner = -1;
+      } else if (dirty_remote) {
+        de->dirty_owner = -1;  // the Modified holder was downgraded
+      }
+    }
+  } else {
+    for (uint32_t n = 0; n < config_.num_cores; ++n) {
+      if (n != node) visit_peer(n);
+    }
   }
   *fill_state =
       is_write ? LineState::kModified
                : (any_remote ? LineState::kShared : LineState::kExclusive);
   EvictedLine ev = l2_[node].FillAt(p2, line_addr, is_write, *fill_state);
+  if constexpr (kUseDirectory) {
+    // Victim first (its Erase may move entries), then re-find the filled
+    // line's entry and register the node.
+    if (ev.valid) DirNoteEviction(node, ev);
+    SmpDirEntry& e = l2_dir_.FindOrInsert(line_addr);
+    e.sharers |= uint64_t{1} << node;
+    if (is_write) e.dirty_owner = static_cast<int8_t>(node);
+  }
   if (ev.valid && ev.dirty) ++stats_.writebacks;
   return dirty_remote ? AccessClass::kCoherence : AccessClass::kOffChip;
 }
 
-inline AccessResult PrivateL2Hierarchy::AccessData(uint32_t core,
-                                                   uint64_t addr,
-                                                   bool is_write,
-                                                   uint64_t now) {
+template <bool kUseDirectory>
+inline AccessResult PrivateL2HierarchyImpl<kUseDirectory>::AccessData(
+    uint32_t core, uint64_t addr, bool is_write, uint64_t now) {
   (void)now;
   AccessResult r;
   const uint64_t line = addr >> line_shift_;
@@ -436,18 +537,39 @@ inline AccessResult PrivateL2Hierarchy::AccessData(uint32_t core,
   bool l2_shared_after = false;
   if (l2_ok) {
     l2_[core].AccessAt(p2, is_write);
+    if constexpr (kUseDirectory) {
+      // Write hit on Exclusive dirties the L2 copy here. Already-Modified
+      // lines need no probe: the invariant guarantees dirty_owner == core.
+      if (is_write && l2s == LineState::kExclusive) {
+        l2_dir_.FindOrInsert(line).dirty_owner = static_cast<int8_t>(core);
+      }
+    }
     r.cls = AccessClass::kL2Hit;
     r.latency = config_.lat.l2_hit;
     l2_shared_after = !is_write && l2s == LineState::kShared;
   } else if (l2s == LineState::kShared && is_write) {
-    // Upgrade: invalidate remote sharers; bus transaction latency.
-    for (uint32_t n = 0; n < config_.num_cores; ++n) {
-      if (n == core) continue;
+    // Upgrade: invalidate remote sharers; bus transaction latency. As in
+    // FetchRemoteOrMemory, the per-peer action is one shared body.
+    auto invalidate_peer = [&](uint32_t n) {
       const Cache::ProbeResult pn = l2_[n].Probe(line);
       if (l2_[n].StateAt(pn) != LineState::kInvalid) {
         l2_[n].InvalidateAt(pn);
         l1d_[n].Invalidate(line);
         ++stats_.invalidations;
+      }
+    };
+    if constexpr (kUseDirectory) {
+      SmpDirEntry& de = l2_dir_.FindOrInsert(line);  // resident => present
+      uint64_t rest = de.sharers & ~(uint64_t{1} << core);
+      while (rest != 0) {
+        invalidate_peer(static_cast<uint32_t>(__builtin_ctzll(rest)));
+        rest &= rest - 1;
+      }
+      de.sharers = uint64_t{1} << core;
+      de.dirty_owner = static_cast<int8_t>(core);
+    } else {
+      for (uint32_t n = 0; n < config_.num_cores; ++n) {
+        if (n != core) invalidate_peer(n);
       }
     }
     l2_[core].SetStateAt(p2, LineState::kModified);
@@ -474,9 +596,9 @@ inline AccessResult PrivateL2Hierarchy::AccessData(uint32_t core,
   return r;
 }
 
-inline AccessResult PrivateL2Hierarchy::AccessInstr(uint32_t core,
-                                                    uint64_t addr,
-                                                    uint64_t now) {
+template <bool kUseDirectory>
+inline AccessResult PrivateL2HierarchyImpl<kUseDirectory>::AccessInstr(
+    uint32_t core, uint64_t addr, uint64_t now) {
   (void)now;
   AccessResult r;
   const uint64_t line = addr >> line_shift_;
@@ -501,12 +623,163 @@ inline AccessResult PrivateL2Hierarchy::AccessInstr(uint32_t core,
   } else {
     r.cls = AccessClass::kOffChip;
     r.latency = config_.lat.memory;
-    l2_[core].FillAt(p2, line, false, LineState::kShared);
+    // I-fetch fills do not snoop (the I-side is read-only), but they DO
+    // change L2 contents, so the directory must see both the fill and
+    // any victim it displaces — the classic way a bitmap goes stale.
+    if constexpr (kUseDirectory) {
+      const EvictedLine ev =
+          l2_[core].FillAt(p2, line, false, LineState::kShared);
+      if (ev.valid) DirNoteEviction(core, ev);
+      l2_dir_.FindOrInsert(line).sharers |= uint64_t{1} << core;
+    } else {
+      l2_[core].FillAt(p2, line, false, LineState::kShared);
+    }
   }
   l1i_[core].FillAt(lp, line, false);
   if (config_.stream_buffers) sbuf_[core].Allocate(line);
   ++stats_.instr_count[static_cast<int>(r.cls)];
   return r;
+}
+
+// ---------------------------------------------------------------------------
+// PrivateL2HierarchyImpl — cold paths (explicitly instantiated for both
+// arms in hierarchy.cc)
+// ---------------------------------------------------------------------------
+
+template <bool kUseDirectory>
+PrivateL2HierarchyImpl<kUseDirectory>::PrivateL2HierarchyImpl(
+    const HierarchyConfig& config)
+    : config_(config) {
+  if constexpr (kUseDirectory) {
+    // The sharers bitmap is one u64. Fail loudly rather than let
+    // 1<<node wrap and alias sharer bits (MakeSmpHierarchy routes
+    // larger machines to the snoop arm, which has no node limit).
+    if (config.num_cores > 64) {
+      std::fprintf(stderr,
+                   "PrivateL2Hierarchy: directory supports <= 64 nodes, "
+                   "got %u\n",
+                   config.num_cores);
+      std::abort();
+    }
+  }
+  line_shift_ = Log2Floor(config.l2.line_bytes);
+  for (uint32_t i = 0; i < config.num_cores; ++i) {
+    l1i_.emplace_back(config.l1i);
+    l1d_.emplace_back(config.l1d);
+    l2_.emplace_back(config.l2);
+    sbuf_.emplace_back(config.stream_buffer_count, config.stream_buffer_depth);
+  }
+}
+
+template <bool kUseDirectory>
+void PrivateL2HierarchyImpl<kUseDirectory>::ResetStats() {
+  // Counters only: cache contents and the directory (which mirrors them)
+  // survive, so post-warmup measurement starts from a warm machine.
+  stats_ = HierarchyStats();
+  for (Cache& c : l1i_) c.ResetCounters();
+  for (Cache& c : l1d_) c.ResetCounters();
+  for (Cache& c : l2_) c.ResetCounters();
+}
+
+template <bool kUseDirectory>
+double PrivateL2HierarchyImpl<kUseDirectory>::L1DHitRate() const {
+  uint64_t h = 0, m = 0;
+  for (const Cache& c : l1d_) {
+    h += c.hits();
+    m += c.misses();
+  }
+  return (h + m) ? static_cast<double>(h) / static_cast<double>(h + m) : 0.0;
+}
+
+template <bool kUseDirectory>
+double PrivateL2HierarchyImpl<kUseDirectory>::L1IHitRate() const {
+  uint64_t h = 0, m = 0;
+  for (const Cache& c : l1i_) {
+    h += c.hits();
+    m += c.misses();
+  }
+  return (h + m) ? static_cast<double>(h) / static_cast<double>(h + m) : 0.0;
+}
+
+template <bool kUseDirectory>
+double PrivateL2HierarchyImpl<kUseDirectory>::L2HitRate() const {
+  uint64_t h = 0, m = 0;
+  for (const Cache& c : l2_) {
+    h += c.hits();
+    m += c.misses();
+  }
+  return (h + m) ? static_cast<double>(h) / static_cast<double>(h + m) : 0.0;
+}
+
+template <bool kUseDirectory>
+std::string PrivateL2HierarchyImpl<kUseDirectory>::CheckDirectoryInvariants()
+    const {
+  char buf[160];
+  if constexpr (!kUseDirectory) {
+    if (!l2_dir_.empty()) return "snoop arm has a non-empty directory";
+    return std::string();
+  }
+  // Caches -> directory: every resident L2 line is registered, and a
+  // Modified L2 copy is the recorded dirty owner.
+  std::string err;
+  for (uint32_t n = 0; n < config_.num_cores && err.empty(); ++n) {
+    l2_[n].ForEachValidLine([&](uint64_t line, LineState s) {
+      if (!err.empty()) return;
+      const SmpDirEntry* e = l2_dir_.Find(line);
+      if (e == nullptr || (e->sharers & (uint64_t{1} << n)) == 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "L2[%u] holds line %#llx but directory has no sharer "
+                      "bit for it",
+                      n, static_cast<unsigned long long>(line));
+        err = buf;
+      } else if (s == LineState::kModified &&
+                 e->dirty_owner != static_cast<int8_t>(n)) {
+        std::snprintf(buf, sizeof(buf),
+                      "L2[%u] holds line %#llx Modified but dirty_owner=%d",
+                      n, static_cast<unsigned long long>(line),
+                      static_cast<int>(e->dirty_owner));
+        err = buf;
+      }
+    });
+  }
+  if (!err.empty()) return err;
+  // Directory -> caches: no stale bits, no empty entries, and the dirty
+  // owner really holds the line Modified.
+  l2_dir_.ForEach([&](uint64_t line, const SmpDirEntry& e) {
+    if (!err.empty()) return;
+    if (e.sharers == 0) {
+      std::snprintf(buf, sizeof(buf), "directory entry %#llx has no sharers",
+                    static_cast<unsigned long long>(line));
+      err = buf;
+      return;
+    }
+    uint64_t rest = e.sharers;
+    while (rest != 0) {
+      const uint32_t n = static_cast<uint32_t>(__builtin_ctzll(rest));
+      rest &= rest - 1;
+      if (n >= config_.num_cores ||
+          l2_[n].GetState(line) == LineState::kInvalid) {
+        std::snprintf(buf, sizeof(buf),
+                      "directory reports node %u sharing line %#llx, which "
+                      "its L2 does not hold",
+                      n, static_cast<unsigned long long>(line));
+        err = buf;
+        return;
+      }
+    }
+    if (e.dirty_owner >= 0) {
+      const uint32_t o = static_cast<uint32_t>(e.dirty_owner);
+      if ((e.sharers & (uint64_t{1} << o)) == 0 ||
+          l2_[o].GetState(line) != LineState::kModified) {
+        std::snprintf(buf, sizeof(buf),
+                      "directory dirty_owner %u of line %#llx does not hold "
+                      "it Modified",
+                      o, static_cast<unsigned long long>(line));
+        err = buf;
+      }
+    }
+  });
+  return err;
 }
 
 }  // namespace stagedcmp::memsim

@@ -86,6 +86,35 @@ SweepSpec MakeSmoke() {
   return spec;
 }
 
+SweepSpec MakeSmokeSmp() {
+  SweepSpec spec("smokesmp",
+                 "tiny {OLTP,DSS} grid on the SMP private-L2 machine — "
+                 "CI diff of the coherence directory vs the snoop "
+                 "reference arm");
+  spec.base_exp.cores = 4;
+  spec.base_exp.topology = harness::Topology::kSmpPrivate;
+  spec.base_exp.l2_bytes = 1ull << 20;  // per node; small => real churn
+  spec.base_exp.saturated = true;
+  spec.base_exp.measure_instructions = 1'500'000;
+  spec.base_exp.warmup_instructions = 500'000;
+  spec.AddAxis("workload",
+               {{"OLTP",
+                 [](Cell& c) {
+                   c.trace.workload = harness::WorkloadKind::kOltp;
+                   c.trace.clients = 4;
+                   c.trace.requests_per_client = 8;
+                   c.trace.seed = 7;
+                 }},
+                {"DSS",
+                 [](Cell& c) {
+                   c.trace.workload = harness::WorkloadKind::kDss;
+                   c.trace.clients = 4;
+                   c.trace.requests_per_client = 1;
+                   c.trace.seed = 7;
+                 }}});
+  return spec;
+}
+
 SweepSpec MakeFig4() {
   SweepSpec spec("fig4",
                  "LC vs FC: response time unsaturated, throughput "
@@ -181,10 +210,32 @@ SweepSpec MakeFig8() {
   return spec;
 }
 
+SweepSpec MakeFig8Smp() {
+  SweepSpec spec("fig8smp",
+                 "throughput vs node count on the SMP private-L2 machine "
+                 "(FC, MESI over 4MB private L2s), offered load scales "
+                 "with the machine");
+  spec.base_exp.camp = coresim::Camp::kFat;
+  spec.base_exp.topology = harness::Topology::kSmpPrivate;
+  spec.base_exp.l2_bytes = 4ull << 20;  // per node (fig7's SMP arm)
+  spec.base_exp.saturated = true;
+  spec.AddAxis("workload", SaturatedWorkloadAxis());
+  std::vector<AxisValue> nodes;
+  for (uint32_t n : {4u, 8u, 16u, 32u}) {
+    nodes.push_back({std::to_string(n), [n](Cell& c) {
+                       c.exp.cores = n;
+                       c.exp.measure_instructions = 12'000'000ull * n / 4;
+                       c.trace.clients = 3 * n;
+                     }});
+  }
+  spec.AddAxis("nodes", std::move(nodes));
+  return spec;
+}
+
 }  // namespace
 
 std::vector<std::string> BuiltinSpecNames() {
-  return {"smoke", "fig4", "fig6", "fig7", "fig8"};
+  return {"smoke", "smokesmp", "fig4", "fig6", "fig7", "fig8", "fig8smp"};
 }
 
 bool HasBuiltinSpec(const std::string& name) {
@@ -196,10 +247,12 @@ bool HasBuiltinSpec(const std::string& name) {
 
 SweepSpec BuiltinSpec(const std::string& name) {
   if (name == "smoke") return MakeSmoke();
+  if (name == "smokesmp") return MakeSmokeSmp();
   if (name == "fig4") return MakeFig4();
   if (name == "fig6") return MakeFig6();
   if (name == "fig7") return MakeFig7();
   if (name == "fig8") return MakeFig8();
+  if (name == "fig8smp") return MakeFig8Smp();
   std::fprintf(stderr, "unknown builtin sweep spec '%s'\n", name.c_str());
   std::abort();
 }

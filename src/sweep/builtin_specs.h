@@ -20,11 +20,16 @@ harness::TraceSetConfig OltpUnsaturatedConfig();
 harness::TraceSetConfig DssUnsaturatedConfig();
 
 /// Names accepted by BuiltinSpec, in presentation order:
-///   smoke — tiny 2x2 grid for CI golden-diff and perf trajectory
-///   fig4  — {unsat,sat} x {OLTP,DSS} x {FC,LC} camp comparison
-///   fig6  — {OLTP,DSS} x {fixed4,realistic} x L2 {1..26MB}
-///   fig7  — {OLTP,DSS} x {SMP private 4MB, CMP shared 16MB}
-///   fig8  — {OLTP,DSS} x cores {4,8,12,16} (load scales with cores)
+///   smoke    — tiny 2x2 grid for CI golden-diff and perf trajectory
+///   smokesmp — tiny {OLTP,DSS} SMP grid for the directory-vs-snoop
+///              byte-identity diff in scripts/check.sh
+///   fig4     — {unsat,sat} x {OLTP,DSS} x {FC,LC} camp comparison
+///   fig6     — {OLTP,DSS} x {fixed4,realistic} x L2 {1..26MB}
+///   fig7     — {OLTP,DSS} x {SMP private 4MB, CMP shared 16MB}
+///   fig8     — {OLTP,DSS} x cores {4,8,12,16} (load scales with cores)
+///   fig8smp  — fig8's axis on the SMP private-L2 machine, extended to
+///              {4,8,16,32} nodes (the sweep the sharers-bitmap
+///              directory makes scale)
 std::vector<std::string> BuiltinSpecNames();
 
 bool HasBuiltinSpec(const std::string& name);

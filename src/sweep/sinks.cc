@@ -330,7 +330,8 @@ void CsvSink::Emit(const SweepReport& report, std::ostream& os) const {
   table.PrintCsv(os);
 }
 
-void EmitPerfSummary(const SweepReport& report, std::ostream& os) {
+void EmitPerfSummary(const SweepReport& report, std::ostream& os,
+                     const std::vector<PerfSection>& extras) {
   JsonObj o(os, 0);
   o.Str("bench", "sweep");
   o.Str("spec", report.spec_name);
@@ -370,6 +371,7 @@ void EmitPerfSummary(const SweepReport& report, std::ostream& os) {
     cells << "\n" << JsonObj::Pad(2) << "]";
     o.Field("cells_detail", cells.str());
   }
+  for (const PerfSection& e : extras) o.Field(e.key, e.raw_json);
   o.Close();
   os << "\n";
 }

@@ -75,9 +75,20 @@ class CsvSink : public ResultSink {
   bool include_timing_;
 };
 
+/// An extra top-level section appended to the perf summary: `raw_json`
+/// is emitted verbatim as the value of `key` (callers own indentation —
+/// two-space base, like the built-in sections).
+struct PerfSection {
+  std::string key;
+  std::string raw_json;
+};
+
 /// Writes the sweep-level perf summary (cells/sec, wall-clock, threads)
-/// as a small JSON object — the BENCH_sweep.json trajectory format.
-void EmitPerfSummary(const SweepReport& report, std::ostream& os);
+/// as a small JSON object — the BENCH_sweep.json trajectory format —
+/// plus any caller-supplied extra sections (e.g. sweep_main's
+/// --smp-dir-probe measurement).
+void EmitPerfSummary(const SweepReport& report, std::ostream& os,
+                     const std::vector<PerfSection>& extras = {});
 
 /// Factory for --format values: "table", "json", "csv". Null on unknown.
 std::unique_ptr<ResultSink> MakeSink(const std::string& format,

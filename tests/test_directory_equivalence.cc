@@ -1,0 +1,186 @@
+// Directory-vs-snoop equivalence pins for the SMP private-L2 hierarchy.
+//
+// PR 5 replaced PrivateL2Hierarchy's broadcast snoop (probe every peer L2
+// per miss/upgrade) with a sharers-bitmap directory that visits only the
+// line's actual holders. The broadcast implementation is kept as
+// PrivateL2SnoopHierarchy, and this suite pins the two arms bit-identical
+// — every HierarchyStats counter, every latency, every breakdown double —
+// on randomized 1M-event synthetic traces across the paper's fig8-style
+// core-count range (2..64 nodes):
+//
+//   * full replay-engine fingerprints (both camps, looped/warmup mode),
+//     where any bookkeeping drift compounds over millions of events;
+//   * a direct per-access drive with deliberately tiny caches, where the
+//     first diverging access fails with its index — eviction churn is the
+//     classic way a directory bitmap goes stale.
+//
+// Both arms run in the same process on the same traces, so the comparison
+// is exact on any host/flags (no pinned constants needed).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "memsim/hierarchy.h"
+#include "synthetic_trace.h"
+
+namespace stagedcmp {
+namespace {
+
+using memsim::AccessResult;
+using memsim::HierarchyConfig;
+using memsim::HierarchyStats;
+
+// The fig8-style core-count axis. 64 is the sharers-bitmap width limit.
+constexpr uint32_t kCoreCounts[] = {2, 8, 16, 64};
+
+HierarchyConfig SmpConfig(uint32_t cores, uint64_t l2_bytes) {
+  HierarchyConfig hc;
+  hc.num_cores = cores;
+  // Modest per-node L2: 64 nodes x multi-MB arrays would dominate test
+  // memory without adding coverage.
+  hc.l2 = memsim::CacheConfig{l2_bytes, 8, 64};
+  return hc;
+}
+
+/// Serializes every HierarchyStats counter (and the per-level hit rates,
+/// hexfloat so doubles compare bit-for-bit) into one comparable string.
+std::string StatsFingerprint(const memsim::MemoryHierarchy& h) {
+  const HierarchyStats& s = h.stats();
+  std::string out;
+  char buf[64];
+  auto num = [&](const char* k, uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "%s=%llu\n", k,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  };
+  for (int i = 0; i < static_cast<int>(memsim::AccessClass::kCount); ++i) {
+    const auto cls = static_cast<memsim::AccessClass>(i);
+    num((std::string("data_") + memsim::AccessClassName(cls)).c_str(),
+        s.data_count[i]);
+    num((std::string("instr_") + memsim::AccessClassName(cls)).c_str(),
+        s.instr_count[i]);
+  }
+  num("invalidations", s.invalidations);
+  num("writebacks", s.writebacks);
+  std::snprintf(buf, sizeof(buf), "l1d=%a\nl1i=%a\nl2=%a\n", h.L1DHitRate(),
+                h.L1IHitRate(), h.L2HitRate());
+  out += buf;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Replay-engine fingerprints: full simulation, both camps, looped mode.
+// ---------------------------------------------------------------------------
+
+coresim::SimResult RunReplay(memsim::MemoryHierarchy* h, uint32_t cores,
+                             const std::vector<trace::ClientTrace>& traces,
+                             bool lean, bool looped) {
+  std::vector<const trace::ClientTrace*> ptrs;
+  for (const auto& t : traces) ptrs.push_back(&t);
+  coresim::SimConfig sc;
+  sc.core = lean ? coresim::CoreParams::Lean() : coresim::CoreParams::Fat();
+  sc.num_cores = cores;
+  sc.loop_traces = looped;
+  sc.max_instructions = looped ? 2'000'000 : 0;
+  sc.warmup_instructions = looped ? 500'000 : 0;
+  coresim::CmpSimulator sim(sc, h, ptrs);
+  return sim.Run();
+}
+
+class DirectoryEquivalenceTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DirectoryEquivalenceTest, ReplayFingerprintsBitIdentical) {
+  const uint32_t cores = GetParam();
+  // ~1M events total, spread over one client per node so every node
+  // participates in the coherence traffic.
+  const std::vector<trace::ClientTrace> traces =
+      synthetic::MakeTraces(/*seed=*/17, /*clients=*/cores,
+                            /*events_per_client=*/1'000'000 / cores);
+  const HierarchyConfig hc = SmpConfig(cores, 1ull << 20);
+
+  for (const bool lean : {false, true}) {
+    memsim::PrivateL2Hierarchy dir(hc);
+    memsim::PrivateL2SnoopHierarchy sno(hc);
+    const coresim::SimResult rd = RunReplay(&dir, cores, traces, lean, false);
+    const coresim::SimResult rs = RunReplay(&sno, cores, traces, lean, false);
+    EXPECT_EQ(synthetic::Fingerprint(rd), synthetic::Fingerprint(rs))
+        << cores << " cores, " << (lean ? "LC" : "FC");
+    EXPECT_EQ(dir.CheckDirectoryInvariants(), "");
+  }
+}
+
+// Looped steady-state mode exercises warmup ResetStats (which must keep
+// cache contents AND directory contents) and trace rotation.
+TEST_P(DirectoryEquivalenceTest, LoopedReplayBitIdentical) {
+  const uint32_t cores = GetParam();
+  const std::vector<trace::ClientTrace> traces =
+      synthetic::MakeTraces(/*seed=*/29, /*clients=*/cores,
+                            /*events_per_client=*/250'000 / cores);
+  const HierarchyConfig hc = SmpConfig(cores, 1ull << 20);
+  memsim::PrivateL2Hierarchy dir(hc);
+  memsim::PrivateL2SnoopHierarchy sno(hc);
+  const coresim::SimResult rd = RunReplay(&dir, cores, traces, false, true);
+  const coresim::SimResult rs = RunReplay(&sno, cores, traces, false, true);
+  EXPECT_EQ(synthetic::Fingerprint(rd), synthetic::Fingerprint(rs))
+      << cores << " cores, looped";
+  EXPECT_EQ(dir.CheckDirectoryInvariants(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Direct drive: per-access lockstep with tiny caches (eviction churn).
+// ---------------------------------------------------------------------------
+
+TEST_P(DirectoryEquivalenceTest, DirectDriveLockstepUnderEvictionChurn) {
+  const uint32_t cores = GetParam();
+  HierarchyConfig hc = SmpConfig(cores, 32 * 1024);
+  hc.l1i = memsim::CacheConfig{2 * 1024, 2, 64};
+  hc.l1d = memsim::CacheConfig{2 * 1024, 2, 64};
+  memsim::PrivateL2Hierarchy dir(hc);
+  memsim::PrivateL2SnoopHierarchy sno(hc);
+
+  Rng rng(1234 + cores);
+  uint64_t now = 0;
+  const size_t steps = 1'000'000 / (cores >= 16 ? 4 : 1);
+  for (size_t i = 0; i < steps; ++i) {
+    const uint32_t node = static_cast<uint32_t>(rng.Next() % cores);
+    const bool instr = (rng.Next() % 8) == 0;
+    const bool is_write = !instr && (rng.Next() % 5) == 0;
+    // Shared hot region (coherence) vs per-node region (capacity churn),
+    // both far larger than the 32KB L2s.
+    const uint64_t addr =
+        (rng.Next() & 1)
+            ? 0x100000 + (rng.Next() % (256ull << 10))
+            : 0x4000000 + node * (1ull << 24) + (rng.Next() % (128ull << 10));
+    AccessResult a, b;
+    if (instr) {
+      a = dir.AccessInstr(node, addr, now);
+      b = sno.AccessInstr(node, addr, now);
+    } else {
+      a = dir.AccessData(node, addr, is_write, now);
+      b = sno.AccessData(node, addr, is_write, now);
+    }
+    ++now;
+    if (a.cls != b.cls || a.latency != b.latency ||
+        a.queue_delay != b.queue_delay) {
+      FAIL() << "arms diverged at access " << i << " (node " << node
+             << ", addr " << std::hex << addr << std::dec
+             << (instr ? ", instr" : is_write ? ", write" : ", read")
+             << "): directory {cls="
+             << memsim::AccessClassName(a.cls) << ", lat=" << a.latency
+             << "} vs snoop {cls=" << memsim::AccessClassName(b.cls)
+             << ", lat=" << b.latency << "}";
+    }
+  }
+  EXPECT_EQ(StatsFingerprint(dir), StatsFingerprint(sno));
+  EXPECT_EQ(dir.CheckDirectoryInvariants(), "");
+  EXPECT_EQ(sno.CheckDirectoryInvariants(), "");  // snoop arm: dir empty
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, DirectoryEquivalenceTest,
+                         ::testing::ValuesIn(kCoreCounts));
+
+}  // namespace
+}  // namespace stagedcmp

@@ -414,6 +414,19 @@ TEST(BuiltinSpecs, AllNamesExpandToTheExpectedGrids) {
   EXPECT_EQ(fig8[3].exp.cores, 16u);
   EXPECT_EQ(fig8[3].trace.clients, 48u);
   EXPECT_EQ(fig8[3].exp.measure_instructions, 48'000'000u);
+
+  // The SMP grids run the private-L2 machine; fig8smp extends the
+  // core-count axis to 32 nodes with fig8's load scaling.
+  EXPECT_EQ(sweep::BuiltinSpec("smokesmp").Expand().size(), 2u);
+  const std::vector<sweep::Cell> f8s = sweep::BuiltinSpec("fig8smp").Expand();
+  ASSERT_EQ(f8s.size(), 8u);
+  for (const sweep::Cell& c : f8s) {
+    EXPECT_EQ(c.exp.topology, harness::Topology::kSmpPrivate);
+    EXPECT_EQ(c.exp.l2_bytes, 4ull << 20);
+  }
+  EXPECT_EQ(f8s[3].exp.cores, 32u);
+  EXPECT_EQ(f8s[3].trace.clients, 96u);
+  EXPECT_EQ(f8s[3].exp.measure_instructions, 96'000'000u);
 }
 
 }  // namespace

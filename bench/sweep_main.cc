@@ -8,12 +8,17 @@
 //   sweep_main --spec smoke --perf-out BENCH_sweep.json
 //   sweep_main --list
 //
+// --threads drives both phases of a run: cold trace-set builds fan out
+// over a work pool (each build in an isolated workload world) and the
+// simulation workers replay cells in parallel.
+//
 // --deterministic omits all timing fields so the JSON/CSV bytes depend
 // only on the spec and the simulation — identical for any --threads
-// value within a process. --golden further restricts the JSON to fields
-// that are byte-stable across processes (grid, configs, trace-set
-// totals; the simulated metrics shift with heap placement), which is
-// what scripts/check.sh diffs against tests/golden/sweep_smoke.json.
+// value within a process. --golden further restricts the output (JSON
+// or CSV) to fields that are byte-stable across processes AND across
+// cold parallel builds (grid, configs, trace-set totals; the simulated
+// metrics shift with heap placement), which is what scripts/check.sh
+// diffs against tests/golden/sweep_smoke.json at --threads {1,2,8}.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -42,7 +47,8 @@ int Usage(const char* argv0, int code) {
       "       %s --list\n"
       "\n"
       "  --spec NAME       built-in grid to run (see --list)\n"
-      "  --threads N       simulation worker threads (default: hardware)\n"
+      "  --threads N       worker threads for trace building and\n"
+      "                    simulation (default: hardware)\n"
       "  --format F        result sink: table (default), json, csv\n"
       "  --out FILE        write results to FILE instead of stdout\n"
       "  --perf-out FILE   also write a BENCH_sweep.json perf summary\n"
@@ -51,7 +57,8 @@ int Usage(const char* argv0, int code) {
       "                    otherwise the cold build rewrites it. Delete\n"
       "                    the file after changing trace generation.\n"
       "  --deterministic   omit timing fields from json/csv output\n"
-      "  --golden          process-invariant JSON (for golden diffs)\n"
+      "  --golden          process-invariant output (for golden diffs);\n"
+      "                    json (default) or csv\n"
       "  --smp-snoop-reference\n"
       "                    resolve SMP coherence via the broadcast-snoop\n"
       "                    reference arm instead of the sharers-bitmap\n"
@@ -217,20 +224,21 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<sweep::ResultSink> sink;
   if (golden) {
-    if (!format.empty() && format != "json") {
-      std::fprintf(stderr, "--golden implies --format json\n");
+    if (format.empty()) format = "json";
+    sink = sweep::MakeSink(format, /*include_timing=*/false,
+                           /*golden=*/true);
+    if (!sink) {
+      std::fprintf(stderr, "--golden supports --format json|csv\n");
       return 2;
     }
-    sink = std::make_unique<sweep::JsonSink>(/*include_timing=*/false,
-                                             /*golden=*/true);
   } else {
     if (format.empty()) format = "table";
     sink = sweep::MakeSink(format, /*include_timing=*/!deterministic);
-  }
-  if (!sink) {
-    std::fprintf(stderr, "unknown format '%s' (table|json|csv)\n",
-                 format.c_str());
-    return 2;
+    if (!sink) {
+      std::fprintf(stderr, "unknown format '%s' (table|json|csv)\n",
+                   format.c_str());
+      return 2;
+    }
   }
 
   harness::WorkloadFactory factory;

@@ -8,15 +8,18 @@
 
 #include "common/table_printer.h"
 #include "db/exec.h"
-#include "harness/experiment.h"
+#include "harness/world.h"
 
 using namespace stagedcmp;
 
 int main() {
-  harness::WorkloadFactory factory;
-  factory.tpch_config.orders = 20000;
+  // One workload world = one private database universe; the traces built
+  // below record against the same data the native run inspects.
+  workload::TpchConfig tpch;
+  tpch.orders = 20000;
+  harness::WorkloadWorld world(workload::TpccConfig{}, tpch);
 
-  workload::Database* db = factory.dss_db();
+  workload::Database* db = world.dss_db();
   std::printf("DSS analytics on TPC-H-style data (%zu bytes resident)\n\n",
               db->data_bytes());
 
@@ -57,7 +60,7 @@ int main() {
     tc.clients = 8;
     tc.requests_per_client = 1;
     tc.engine = mode;
-    harness::TraceSet traces = factory.Build(tc);
+    harness::TraceSet traces = world.Build(tc);
     harness::ExperimentConfig ec;
     ec.cores = 4;
     ec.l2_bytes = 8ull << 20;

@@ -11,7 +11,7 @@
 #include <cstdlib>
 
 #include "common/table_printer.h"
-#include "harness/experiment.h"
+#include "harness/world.h"
 
 using namespace stagedcmp;
 
@@ -22,16 +22,19 @@ int main(int argc, char** argv) {
   std::printf("OLTP server: %u warehouses, %u terminals\n\n", warehouses,
               clients);
 
-  harness::WorkloadFactory factory;
-  factory.tpcc_config.warehouses = warehouses;
-  factory.tpcc_config.customers_per_district = 600;
-  factory.tpcc_config.initial_orders_per_district = 60;
+  workload::TpccConfig tpcc;
+  tpcc.warehouses = warehouses;
+  tpcc.customers_per_district = 600;
+  tpcc.initial_orders_per_district = 60;
+  // One world: the native mix below commits into the same database the
+  // traces then record against, like a server that has been running.
+  harness::WorkloadWorld world(tpcc, workload::TpchConfig{});
 
   // Native run: count the transaction mix.
-  workload::Database* db = factory.oltp_db();
+  workload::Database* db = world.oltp_db();
   std::printf("database resident bytes: %zu\n", db->data_bytes());
   {
-    workload::TpccDriver driver(db, factory.tpcc_config, 1, 2024);
+    workload::TpccDriver driver(db, tpcc, 1, 2024);
     int counts[5] = {};
     for (int i = 0; i < 500; ++i) counts[static_cast<int>(driver.RunOne(nullptr))]++;
     TablePrinter mix({"transaction", "count (of 500)"});
@@ -47,7 +50,7 @@ int main(int argc, char** argv) {
   tc.workload = harness::WorkloadKind::kOltp;
   tc.clients = clients;
   tc.requests_per_client = 32;
-  harness::TraceSet traces = factory.Build(tc);
+  harness::TraceSet traces = world.Build(tc);
 
   TablePrinter table({"camp", "UIPC", "txn/Mcycle", "comp", "d-stall",
                       "d-stall:L2hit"});

@@ -10,7 +10,7 @@
 
 #include "common/table_printer.h"
 #include "coresim/cmp.h"
-#include "harness/experiment.h"
+#include "harness/world.h"
 
 using namespace stagedcmp;
 
@@ -18,14 +18,15 @@ int main() {
   std::printf("StagedCMP quickstart\n====================\n\n");
 
   // 1. Build a small DSS database and record one client running Q1 + Q6.
-  harness::WorkloadFactory factory;
-  factory.tpch_config.orders = 8000;  // small demo scale
+  workload::TpchConfig tpch;
+  tpch.orders = 8000;  // small demo scale
+  harness::WorkloadWorld world(workload::TpccConfig{}, tpch);
   harness::TraceSetConfig tc;
   tc.workload = harness::WorkloadKind::kDss;
   tc.clients = 4;
   tc.requests_per_client = 2;
-  harness::TraceSet traces = factory.Build(tc);
-  std::printf("database bytes : %zu\n", factory.dss_db()->data_bytes());
+  harness::TraceSet traces = world.Build(tc);
+  std::printf("database bytes : %zu\n", world.dss_db()->data_bytes());
   std::printf("trace events   : %llu\n",
               static_cast<unsigned long long>(traces.total_events));
   std::printf("instructions   : %llu\n\n",

@@ -2,26 +2,33 @@
 # Full verification: a static docs pass (link + spec drift), the tier-1
 # build/test pass (Release), then an ASan+UBSan Debug pass over the whole
 # test suite. Both build passes also run the sweep engine's smoke grid:
-# the tier-1 pass emits the BENCH_sweep.json perf trajectory (cells/sec,
-# wall-clock, SMP directory-vs-snoop probe), diffs the smokesmp grid's
-# directory and snoop-reference arms byte-for-byte, and the sanitizer
-# pass diffs the process-invariant --golden JSON against
-# tests/golden/sweep_smoke.json.
+# the tier-1 pass runs the cold-determinism matrix (golden JSON + CSV
+# byte-diffed across --threads 1/2/8, every set rebuilt from scratch
+# through the parallel build pool each time), emits BENCH perf
+# trajectories for both the cold build+sim path and the warm replay path
+# (cells/sec, wall-clock, SMP directory-vs-snoop probe), diffs the
+# smokesmp grid's directory and snoop-reference arms byte-for-byte, and
+# the sanitizer pass diffs the process-invariant --golden JSON against
+# tests/golden/sweep_smoke.json. An optional ThreadSanitizer pass races
+# the parallel cold build under TSan.
 #
-#   scripts/check.sh              # all passes
+#   scripts/check.sh              # docs + tier-1 + ASan/UBSan passes
 #   scripts/check.sh --tier1      # docs + tier-1 only
 #   scripts/check.sh --sanitize   # docs + sanitizer pass only
+#   scripts/check.sh --tsan       # docs + ThreadSanitizer pass only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tier1=1
 run_sanitize=1
+run_tsan=0
 case "${1:-}" in
   --tier1) run_sanitize=0 ;;
   --sanitize) run_tier1=0 ;;
+  --tsan) run_tier1=0; run_sanitize=0; run_tsan=1 ;;
   "") ;;
-  *) echo "usage: $0 [--tier1|--sanitize]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tier1|--sanitize|--tsan]" >&2; exit 2 ;;
 esac
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -77,13 +84,33 @@ if [[ $run_tier1 -eq 1 ]]; then
   cmake --build build -j "$jobs"
   ctest --test-dir build --output-on-failure -j "$jobs"
 
-  echo "==> sweep smoke grid: golden diff (cold) + BENCH trajectory (warm)"
-  # Cold pass: regenerate every trace set from scratch, verify the golden,
-  # and write the trace bundle the warm pass replays from.
+  echo "==> sweep smoke grid: cold-determinism matrix (--threads 1/2/8)"
+  # Every run below is COLD — no trace bundle in play, every trace set
+  # regenerated from scratch through the parallel build pool — so the
+  # byte-diffs pin that the number of build workers cannot leak into the
+  # golden JSON or CSV output. The final (8-thread) run also writes the
+  # trace bundle the warm pass replays from and the cold perf summary
+  # the gate below checks.
   rm -f build/smoke.traces
-  ./build/bench/sweep_main --spec smoke --threads 4 --golden \
-    --trace-bundle build/smoke.traces --out build/sweep_smoke_golden.json
-  diff -u tests/golden/sweep_smoke.json build/sweep_smoke_golden.json
+  for t in 1 2; do
+    ./build/bench/sweep_main --spec smoke --threads "$t" --golden \
+      --out "build/sweep_smoke_golden_t$t.json"
+    diff -u tests/golden/sweep_smoke.json "build/sweep_smoke_golden_t$t.json"
+    ./build/bench/sweep_main --spec smoke --threads "$t" --golden \
+      --format csv --out "build/sweep_smoke_golden_t$t.csv"
+  done
+  ./build/bench/sweep_main --spec smoke --threads 8 --golden \
+    --trace-bundle build/smoke.traces \
+    --perf-out build/BENCH_sweep_cold_fresh.json \
+    --out build/sweep_smoke_golden_t8.json
+  diff -u tests/golden/sweep_smoke.json build/sweep_smoke_golden_t8.json
+  ./build/bench/sweep_main --spec smoke --threads 8 --golden \
+    --format csv --out build/sweep_smoke_golden_t8.csv
+  # CSV has no committed golden; cross-thread-count identity is the pin.
+  diff -u build/sweep_smoke_golden_t1.csv build/sweep_smoke_golden_t2.csv
+  diff -u build/sweep_smoke_golden_t1.csv build/sweep_smoke_golden_t8.csv
+
+  echo "==> sweep smoke grid: BENCH trajectory (warm)"
   # Warm pass: replay-only single-thread trajectory (the committed
   # BENCH_sweep.json baseline is measured exactly this way), plus the
   # 64-node SMP directory-vs-snoop probe recorded as the summary's
@@ -117,45 +144,53 @@ if [[ $run_tier1 -eq 1 ]]; then
     --out build/smokesmp_snoop.json
   diff -u build/smokesmp_directory.json build/smokesmp_snoop.json
 
-  echo "==> perf gate: cells/sec within 20% of committed BENCH_sweep.json"
-  # The gate compares absolute throughput against a baseline committed
+  echo "==> perf gates: warm replay + cold build, 20% regression budget"
+  # Each gate compares absolute cells/sec against a baseline committed
   # from the CI container; on a substantially slower machine export
   # STAGEDCMP_SKIP_PERF_GATE=1 instead of committing that machine's
-  # numbers.
+  # numbers. The warm gate watches replay throughput; the cold gate's
+  # wall clock is end-to-end and so also covers trace GENERATION — a
+  # build-path slowdown that the warm gate is blind to trips it.
   get_cps() {
     awk -F': ' '/"cells_per_second"/ { gsub(/,/, "", $2); print $2; exit }' \
       "$1"
   }
-  baseline=$(get_cps BENCH_sweep.json)
-  fresh=$(get_cps build/BENCH_sweep_fresh.json)
-  if [[ -z "$baseline" || -z "$fresh" ]]; then
-    # An unparsable side must fail loudly: awk would treat "" as 0 and
-    # silently disable the gate forever.
-    echo "FAIL: could not parse cells_per_second" \
-         "(baseline='${baseline}', fresh='${fresh}')" >&2
-    exit 1
-  fi
-  echo "    baseline ${baseline} cells/s, fresh ${fresh} cells/s"
-  if [[ "${STAGEDCMP_SKIP_PERF_GATE:-0}" != "1" ]]; then
-    if ! awk -v f="$fresh" -v b="$baseline" \
-         'BEGIN { exit (f >= 0.8 * b) ? 0 : 1 }'; then
-      echo "FAIL: cells_per_second regressed >20%" \
-           "(${fresh} < 0.8*${baseline})" >&2
+  gate_cps() {  # gate_cps LABEL BASELINE_FILE FRESH_FILE
+    local label="$1" baseline_file="$2" fresh_file="$3"
+    local baseline fresh
+    baseline=$(get_cps "$baseline_file")
+    fresh=$(get_cps "$fresh_file")
+    if [[ -z "$baseline" || -z "$fresh" ]]; then
+      # An unparsable side must fail loudly: awk would treat "" as 0 and
+      # silently disable the gate forever.
+      echo "FAIL: could not parse $label cells_per_second" \
+           "(baseline='${baseline}', fresh='${fresh}')" >&2
       exit 1
     fi
-  fi
+    echo "    $label: baseline ${baseline} cells/s, fresh ${fresh} cells/s"
+    if [[ "${STAGEDCMP_SKIP_PERF_GATE:-0}" != "1" ]]; then
+      if ! awk -v f="$fresh" -v b="$baseline" \
+           'BEGIN { exit (f >= 0.8 * b) ? 0 : 1 }'; then
+        echo "FAIL: $label cells_per_second regressed >20%" \
+             "(${fresh} < 0.8*${baseline})" >&2
+        exit 1
+      fi
+    fi
+    # The committed baseline only changes on explicit request (run on the
+    # CI container: STAGEDCMP_UPDATE_PERF_BASELINE=1 scripts/check.sh),
+    # and even then never downward — otherwise a faster dev machine would
+    # silently commit numbers every other machine then fails against, and
+    # noisy slower runs would ratchet the gate loose.
+    if [[ "${STAGEDCMP_UPDATE_PERF_BASELINE:-0}" == "1" ]] \
+       && awk -v f="$fresh" -v b="$baseline" 'BEGIN { exit (f >= b) ? 0 : 1 }'
+    then
+      cp "$fresh_file" "$baseline_file"
+      echo "    $label committed baseline updated"
+    fi
+  }
+  gate_cps warm BENCH_sweep.json build/BENCH_sweep_fresh.json
+  gate_cps cold BENCH_sweep_cold.json build/BENCH_sweep_cold_fresh.json
   cat build/BENCH_sweep_fresh.json
-  # The committed baseline only changes on explicit request (run on the
-  # CI container: STAGEDCMP_UPDATE_PERF_BASELINE=1 scripts/check.sh),
-  # and even then never downward — otherwise a faster dev machine would
-  # silently commit numbers every other machine then fails against, and
-  # noisy slower runs would ratchet the gate loose.
-  if [[ "${STAGEDCMP_UPDATE_PERF_BASELINE:-0}" == "1" ]] \
-     && awk -v f="$fresh" -v b="$baseline" 'BEGIN { exit (f >= b) ? 0 : 1 }'
-  then
-    cp build/BENCH_sweep_fresh.json BENCH_sweep.json
-    echo "    committed baseline updated"
-  fi
 fi
 
 if [[ $run_sanitize -eq 1 ]]; then
@@ -172,6 +207,26 @@ if [[ $run_sanitize -eq 1 ]]; then
     ./build-asan/bench/sweep_main --spec smoke --threads 4 --golden \
       --out build-asan/sweep_smoke_golden.json
   diff -u tests/golden/sweep_smoke.json build-asan/sweep_smoke_golden.json
+fi
+
+if [[ $run_tsan -eq 1 ]]; then
+  echo "==> ThreadSanitizer: Debug + TSan build, parallel cold build"
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DSTAGEDCMP_TSAN=ON
+  cmake --build build-tsan -j "$jobs"
+  # The concurrency-bearing suites: pool contract, world isolation, and
+  # the sweep runner's build/sim pipeline.
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+      -R 'test_threadpool|test_world_isolation|test_sweep'
+  # Cold parallel build of the smoke grid: all trace sets regenerate
+  # concurrently through the build pool while sim workers replay — the
+  # exact interleaving the isolated-world design must keep race-free.
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/bench/sweep_main --spec smoke --threads 8 --golden \
+      --out build-tsan/sweep_smoke_golden.json
+  diff -u tests/golden/sweep_smoke.json build-tsan/sweep_smoke_golden.json
 fi
 
 echo "==> all checks passed"

@@ -1,0 +1,107 @@
+// Minimal fixed-size work pool: FIFO task queue, std::future-based result
+// and exception propagation, and an explicit drain-or-discard shutdown.
+// Used by the sweep runner to parallelize cold trace-set builds; small and
+// deliberately unclever (no work stealing, no priorities) because its jobs
+// are few and coarse — a trace-set build is seconds, not microseconds.
+//
+// Guarantees:
+//   * Tasks are DISPATCHED in submission order (FIFO). With one worker
+//     thread that is also strict execution order; with N workers, task
+//     i+1 may finish before task i but never starts before it.
+//   * A task's exception travels to whoever holds its future; it never
+//     terminates the worker thread.
+//   * Shutdown(drain=true) (and the destructor) runs every queued task
+//     to completion. Shutdown(drain=false) discards queued-but-unstarted
+//     tasks — their futures report std::future_errc::broken_promise —
+//     and joins after in-flight tasks finish.
+//   * Submit after Shutdown throws std::runtime_error.
+#ifndef STAGEDCMP_COMMON_THREADPOOL_H_
+#define STAGEDCMP_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace stagedcmp {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(uint32_t threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (uint32_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() { Shutdown(/*drain=*/true); }
+
+  /// Enqueues `fn` and returns a future for its result. The future
+  /// rethrows anything `fn` throws.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: Submit after Shutdown");
+      }
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Stops the pool and joins all workers. Idempotent.
+  void Shutdown(bool drain = true) {
+    std::vector<std::thread> workers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+      if (!drain) queue_.clear();  // abandoned tasks break their promises
+      workers.swap(workers_);
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers) w.join();
+  }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ && drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();  // packaged_task: exceptions land in the future
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace stagedcmp
+
+#endif  // STAGEDCMP_COMMON_THREADPOOL_H_

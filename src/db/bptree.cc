@@ -9,7 +9,7 @@ namespace stagedcmp::db {
 using trace::CostModel;
 
 BPlusTree::BPlusTree(Arena* arena) : arena_(arena) {
-  region_ = trace::RegionBtree();
+  region_ = trace::RegionId::kBtree;
   root_ = NewNode(true);
   rightmost_leaf_ = root_;
   insert_path_.reserve(16);

@@ -95,7 +95,7 @@ class BPlusTree {
   uint64_t size_ = 0;
   uint32_t height_ = 1;
   uint64_t node_count_ = 0;
-  trace::CodeRegion region_;
+  trace::RegionId region_;
 };
 
 }  // namespace stagedcmp::db

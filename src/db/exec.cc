@@ -66,7 +66,7 @@ bool Predicate::Eval(const Schema& schema, const uint8_t* tuple) const {
 
 SeqScanOp::SeqScanOp(HeapFile* file, std::vector<Predicate> preds)
     : file_(file), preds_(std::move(preds)) {
-  region_ = trace::RegionSeqScan();
+  region_ = trace::RegionId::kSeqScan;
 }
 
 void SeqScanOp::Open(ExecContext* ctx) {
@@ -116,7 +116,7 @@ void SeqScanOp::Close(ExecContext* ctx) {}
 IndexScanOp::IndexScanOp(const BPlusTree* index, HeapFile* file, uint64_t lo,
                          uint64_t hi)
     : index_(index), file_(file), lo_(lo), hi_(hi) {
-  region_ = trace::RegionIndexScan();
+  region_ = trace::RegionId::kIndexScan;
 }
 
 void IndexScanOp::Open(ExecContext* ctx) {
@@ -149,7 +149,7 @@ void IndexScanOp::Close(ExecContext* ctx) { rids_.clear(); }
 FilterOp::FilterOp(std::unique_ptr<Operator> child,
                    std::vector<Predicate> preds)
     : child_(std::move(child)), preds_(std::move(preds)) {
-  region_ = trace::RegionFilter();
+  region_ = trace::RegionId::kFilter;
 }
 
 void FilterOp::Open(ExecContext* ctx) { child_->Open(ctx); }
@@ -179,7 +179,7 @@ void FilterOp::Close(ExecContext* ctx) { child_->Close(ctx); }
 
 ProjectOp::ProjectOp(std::unique_ptr<Operator> child, std::vector<int> cols)
     : child_(std::move(child)), columns_(std::move(cols)) {
-  region_ = trace::RegionProject();
+  region_ = trace::RegionId::kProject;
   std::vector<Column> out;
   for (int c : columns_) {
     out.push_back(child_->output_schema().column(static_cast<size_t>(c)));
@@ -226,8 +226,8 @@ HashJoinOp::HashJoinOp(std::unique_ptr<Operator> build,
       build_key_(build_key),
       probe_key_(probe_key),
       type_(type) {
-  build_region_ = trace::RegionHashBuild();
-  probe_region_ = trace::RegionHashProbe();
+  build_region_ = trace::RegionId::kHashBuild;
+  probe_region_ = trace::RegionId::kHashProbe;
   schema_ = Schema::Concat(probe_->output_schema(), build_->output_schema());
   out_buf_.resize(schema_.tuple_size());
   null_build_.assign(build_->output_schema().tuple_size(), 0);
@@ -355,7 +355,7 @@ NlJoinOp::NlJoinOp(std::unique_ptr<Operator> outer,
       inner_(std::move(inner)),
       outer_key_(outer_key),
       inner_key_(inner_key) {
-  region_ = trace::RegionNlJoin();
+  region_ = trace::RegionId::kNlJoin;
   schema_ = Schema::Concat(outer_->output_schema(), inner_->output_schema());
   out_buf_.resize(schema_.tuple_size());
 }
@@ -427,7 +427,7 @@ HashAggOp::HashAggOp(std::unique_ptr<Operator> child,
     : child_(std::move(child)),
       group_cols_(std::move(group_cols)),
       aggs_(std::move(aggs)) {
-  region_ = trace::RegionAggregate();
+  region_ = trace::RegionId::kAggregate;
   std::vector<Column> out;
   for (int c : group_cols_) {
     out.push_back(child_->output_schema().column(static_cast<size_t>(c)));
@@ -541,7 +541,7 @@ void HashAggOp::Close(ExecContext* ctx) {
 
 SortOp::SortOp(std::unique_ptr<Operator> child, int key_col, bool ascending)
     : child_(std::move(child)), key_col_(key_col), ascending_(ascending) {
-  region_ = trace::RegionSort();
+  region_ = trace::RegionId::kSort;
 }
 
 void SortOp::Open(ExecContext* ctx) {

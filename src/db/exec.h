@@ -71,7 +71,7 @@ class SeqScanOp : public Operator {
   size_t page_idx_ = 0;
   uint32_t slot_ = 0;
   Page* cur_page_ = nullptr;
-  trace::CodeRegion region_;
+  trace::RegionId region_;
 };
 
 class BPlusTree;
@@ -92,7 +92,7 @@ class IndexScanOp : public Operator {
   uint64_t lo_, hi_;
   std::vector<uint64_t> rids_;  // materialized matches
   size_t pos_ = 0;
-  trace::CodeRegion region_;
+  trace::RegionId region_;
 };
 
 /// Filter over child output.
@@ -109,7 +109,7 @@ class FilterOp : public Operator {
  private:
   std::unique_ptr<Operator> child_;
   std::vector<Predicate> preds_;
-  trace::CodeRegion region_;
+  trace::RegionId region_;
 };
 
 /// Projection to a subset of columns (by index).
@@ -126,7 +126,7 @@ class ProjectOp : public Operator {
   std::vector<int> columns_;
   Schema schema_;
   std::vector<uint8_t> buffer_;
-  trace::CodeRegion region_;
+  trace::RegionId region_;
 };
 
 /// In-memory hash join (equi-join on single int64 columns).
@@ -165,8 +165,8 @@ class HashJoinOp : public Operator {
   bool probe_matched_ = false;
   std::vector<uint8_t> out_buf_;
   std::vector<uint8_t> null_build_;
-  trace::CodeRegion build_region_;
-  trace::CodeRegion probe_region_;
+  trace::RegionId build_region_;
+  trace::RegionId probe_region_;
 };
 
 /// Aggregate function kinds.
@@ -206,7 +206,7 @@ class HashAggOp : public Operator {
   std::vector<const GroupState*> ordered_;
   size_t emit_pos_ = 0;
   std::vector<uint8_t> out_buf_;
-  trace::CodeRegion region_;
+  trace::RegionId region_;
 };
 
 /// Nested-loop join on an int64 equality (materializes the inner side).
@@ -230,7 +230,7 @@ class NlJoinOp : public Operator {
   const uint8_t* cur_outer_ = nullptr;
   size_t inner_pos_ = 0;
   std::vector<uint8_t> out_buf_;
-  trace::CodeRegion region_;
+  trace::RegionId region_;
 };
 
 /// Full sort on an int64 column (materializing).
@@ -250,7 +250,7 @@ class SortOp : public Operator {
   bool ascending_;
   std::vector<std::vector<uint8_t>> rows_;
   size_t pos_ = 0;
-  trace::CodeRegion region_;
+  trace::RegionId region_;
 };
 
 /// Limit.

@@ -80,7 +80,7 @@ FilterStage::FilterStage(std::string name, const Schema* schema,
                          std::vector<Predicate> preds, uint32_t packet_tuples)
     : name_(std::move(name)), schema_(schema), preds_(std::move(preds)),
       packet_tuples_(packet_tuples) {
-  region_ = trace::RegionFilter();
+  region_ = trace::RegionId::kFilter;
 }
 
 void FilterStage::Process(const Packet* in,
@@ -127,7 +127,7 @@ AggStage::AggStage(std::string name, const Schema* in_schema,
                    std::vector<int> group_cols, std::vector<AggSpec> aggs)
     : name_(std::move(name)), in_schema_(in_schema),
       group_cols_(std::move(group_cols)), aggs_(std::move(aggs)) {
-  region_ = trace::RegionAggregate();
+  region_ = trace::RegionId::kAggregate;
   std::vector<Column> out;
   for (int c : group_cols_) {
     out.push_back(in_schema_->column(static_cast<size_t>(c)));
@@ -217,7 +217,7 @@ StagedPipeline::StagedPipeline(std::unique_ptr<SourceStage> source,
                          ? DefaultPacketTuples(
                                source_->output_schema().tuple_size())
                          : packet_tuples) {
-  runtime_region_ = trace::RegionStageRuntime();
+  runtime_region_ = trace::RegionId::kStageRuntime;
 }
 
 uint64_t StagedPipeline::Run(ExecContext* ctx) {

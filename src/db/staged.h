@@ -117,7 +117,7 @@ class FilterStage : public Stage {
   const Schema* schema_;
   std::vector<Predicate> preds_;
   uint32_t packet_tuples_;
-  trace::CodeRegion region_;
+  trace::RegionId region_;
 };
 
 /// Aggregation stage (terminal; accumulates, emits nothing downstream).
@@ -146,7 +146,7 @@ class AggStage : public Stage {
   std::vector<AggSpec> aggs_;
   Schema out_schema_;
   std::unordered_map<uint64_t, GroupState> groups_;
-  trace::CodeRegion region_;
+  trace::RegionId region_;
 };
 
 /// A linear staged pipeline with a cohort scheduler.
@@ -169,7 +169,7 @@ class StagedPipeline {
   StagePolicy policy_;
   uint32_t packet_tuples_;
   uint64_t packets_processed_ = 0;
-  trace::CodeRegion runtime_region_;
+  trace::RegionId runtime_region_;
 };
 
 /// Packet capacity that keeps a packet within half of a 64 KB L1D.

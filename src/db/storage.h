@@ -66,7 +66,7 @@ struct alignas(64) Page {
 class BufferPool {
  public:
   explicit BufferPool(Arena* arena) : arena_(arena) {
-    region_ = trace::RegionBufferPool();
+    region_ = trace::RegionId::kBufferPool;
   }
 
   /// Allocates a new page for `file_id` holding tuples of `tuple_size`.
@@ -81,7 +81,7 @@ class BufferPool {
  private:
   Arena* arena_;
   std::vector<Page*> pages_;  // page table: id -> frame
-  trace::CodeRegion region_;
+  trace::RegionId region_;
 };
 
 /// Append-only heap file of fixed-width tuples.

@@ -30,7 +30,7 @@ class LockManager {
 
   explicit LockManager(Arena* arena) {
     buckets_ = arena->AllocateArray<Bucket>(kBuckets);
-    region_ = trace::RegionLockMgr();
+    region_ = trace::RegionId::kLockMgr;
   }
 
   /// Acquires (records) a lock on `key`; returns the bucket index.
@@ -92,7 +92,7 @@ class LockManager {
   }
 
   Bucket* buckets_;
-  trace::CodeRegion region_;
+  trace::RegionId region_;
 };
 
 /// Shared append-only log buffer (group-commit tail is a write hotspot).
@@ -101,7 +101,7 @@ class LogBuffer {
   explicit LogBuffer(Arena* arena, size_t bytes = 1 << 20)
       : size_(bytes) {
     data_ = static_cast<uint8_t*>(arena->Allocate(bytes, 64));
-    region_ = trace::RegionTxn();
+    region_ = trace::RegionId::kTxn;
   }
 
   /// Appends a log record of `bytes` (content is synthetic).
@@ -126,7 +126,7 @@ class LogBuffer {
   size_t size_;
   uint64_t tail_ = 0;
   uint64_t records_ = 0;
-  trace::CodeRegion region_;
+  trace::RegionId region_;
 };
 
 /// A 2PL transaction: acquires during execution, releases at commit.
@@ -136,7 +136,7 @@ class Transaction {
 
   void Begin(trace::Tracer* t) {
     if (t != nullptr) {
-      t->EnterRegion(trace::RegionTxn());
+      t->EnterRegion(trace::RegionId::kTxn);
       t->Compute(trace::CostModel::kTxnBeginCommit);
     }
     held_.clear();

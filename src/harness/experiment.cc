@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "cacti/cache_model.h"
+#include "harness/world.h"
 
 namespace stagedcmp::harness {
 
@@ -10,80 +11,13 @@ const char* WorkloadName(WorkloadKind w) {
   return w == WorkloadKind::kOltp ? "OLTP" : "DSS";
 }
 
-workload::Database* WorkloadFactory::oltp_db() {
-  std::call_once(oltp_once_, [this] {
-    oltp_db_ = std::make_unique<workload::Database>();
-    workload::TpccLoad(oltp_db_.get(), tpcc_config);
-  });
-  return oltp_db_.get();
-}
-
-workload::Database* WorkloadFactory::dss_db() {
-  std::call_once(dss_once_, [this] {
-    dss_db_ = std::make_unique<workload::Database>();
-    workload::TpchLoad(dss_db_.get(), tpch_config);
-  });
-  return dss_db_.get();
-}
-
-TraceSet WorkloadFactory::Build(const TraceSetConfig& config) {
-  TraceSet out;
-  out.config = config;
-  out.traces.reserve(config.clients);
-
-  for (uint32_t c = 0; c < config.clients; ++c) {
-    trace::Tracer tracer;
-    const uint64_t seed = config.seed * 7919 + c * 104729 + 13;
-    if (config.workload == WorkloadKind::kOltp) {
-      workload::Database* db = oltp_db();
-      // Adjacent clients share a home warehouse but land on different
-      // cores/nodes in the simulator's round-robin placement, so warehouse
-      // -local structures (districts, stock) are genuinely write-shared
-      // across nodes — the coherence traffic Figure 7 depends on.
-      workload::TpccDriver driver(db, tpcc_config,
-                                  1 + (c / 2) % tpcc_config.warehouses,
-                                  seed);
-      for (uint32_t r = 0; r < config.requests_per_client; ++r) {
-        driver.RunOne(&tracer);
-      }
-    } else {
-      workload::Database* db = dss_db();
-      if (config.engine == EngineMode::kVolcano) {
-        workload::TpchDriver driver(db, seed);
-        // Rotate the starting point of the mix by client so a trace set
-        // collectively covers Q1/Q6/Q13/Q16 like the paper's 16 clients.
-        for (uint32_t skip = 0; skip < c % 6; ++skip) driver.RunOne(nullptr);
-        for (uint32_t r = 0; r < config.requests_per_client; ++r) {
-          driver.RunOne(&tracer);
-        }
-      } else {
-        // Staged engine path (scan queries; ablation A1).
-        Rng rng(seed);
-        Arena scratch(1 << 20);  // per-client, bump-allocated (no reuse)
-        const uint32_t pt =
-            config.engine == EngineMode::kStagedTuple ? 1 : 0;
-        for (uint32_t r = 0; r < config.requests_per_client; ++r) {
-          const workload::TpchQuery q = (r + c) % 2 == 0
-                                            ? workload::TpchQuery::kQ1
-                                            : workload::TpchQuery::kQ6;
-          auto pipeline =
-              workload::BuildTpchStagedPlan(dss_db(), q, &rng, pt);
-          db::ExecContext ctx;
-          ctx.tracer = &tracer;
-          ctx.temp = &scratch;
-          pipeline->Run(&ctx);
-          tracer.EndRequest();
-        }
-      }
-    }
-    out.traces.push_back(tracer.TakeTrace());
-    out.total_instructions += out.traces.back().total_instructions;
-    out.total_events += out.traces.back().events.size();
-  }
-  // Warm the pointer cache so a shared (immutable) set never populates it
-  // lazily from concurrent replay threads.
-  out.Pointers();
-  return out;
+TraceSet WorkloadFactory::Build(const TraceSetConfig& config) const {
+  // A fresh world per build: private databases, private code-region map.
+  // Builds are pure functions of (config, scale knobs), so they can run
+  // concurrently, and the same config always yields the same traces (up
+  // to heap placement) regardless of what built before it.
+  WorkloadWorld world(tpcc_config, tpch_config);
+  return world.Build(config);
 }
 
 memsim::HierarchyConfig MakeHierarchyConfig(const ExperimentConfig& config) {

@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -70,41 +69,28 @@ struct TraceSet {
   mutable const trace::ClientTrace* pointer_cache_key_ = nullptr;
 };
 
-/// Builds (and owns) workload databases, generating trace sets on demand.
-/// Databases are built once and reused across trace sets; traces are
-/// deterministic in (workload, seed, client id) *given the database
-/// state*, which OLTP trace generation itself advances (transactions
-/// commit into the shared database), so traces also depend on the order
-/// of prior Build calls.
+/// Generates trace sets on demand. Each Build() call runs inside a fresh,
+/// isolated WorkloadWorld (see harness/world.h): its own freshly loaded
+/// databases and its own code-region map, so a built trace set is a pure
+/// function of (config, scale knobs) — never of prior Build calls.
 ///
 /// Thread-safety contract:
-///   * oltp_db() / dss_db() may be called concurrently: lazy database
-///     construction runs exactly once behind a std::once_flag.
-///   * Build() is NOT safe to call concurrently — it mutates the shared
-///     databases (OLTP) and the process-global trace::CodeMap code-region
-///     registry. Callers must serialize Build calls; the sweep
-///     TraceSetCache does so (and in deterministic order) for parallel
-///     sweeps.
+///   * Build() is safe to call concurrently from any number of threads;
+///     concurrent builds run in disjoint worlds and share nothing but
+///     this factory's (const during building) scale knobs. The sweep's
+///     TraceSetCache exploits this to build distinct configs in parallel.
 ///   * A fully-built TraceSet is immutable and safe to share across any
 ///     number of concurrently-running simulations.
 class WorkloadFactory {
  public:
   WorkloadFactory() = default;
 
-  /// Overridable scale knobs (defaults match DESIGN.md geometry).
+  /// Overridable scale knobs (defaults match DESIGN.md geometry). Set
+  /// them before the first Build; they must not change while builds run.
   workload::TpccConfig tpcc_config;
   workload::TpchConfig tpch_config;
 
-  TraceSet Build(const TraceSetConfig& config);
-
-  workload::Database* oltp_db();
-  workload::Database* dss_db();
-
- private:
-  std::once_flag oltp_once_;
-  std::once_flag dss_once_;
-  std::unique_ptr<workload::Database> oltp_db_;
-  std::unique_ptr<workload::Database> dss_db_;
+  TraceSet Build(const TraceSetConfig& config) const;
 };
 
 struct ExperimentConfig {

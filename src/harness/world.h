@@ -1,0 +1,58 @@
+// An isolated workload "world": one code-region map, one set of freshly
+// loaded databases, and the trace-generation loop that records against
+// them. Worlds share nothing, so any number of trace sets can build
+// concurrently — the property the sweep's parallel cold build rests on —
+// and every build is a pure function of (config, scale knobs): no
+// once-guarded shared databases whose state earlier builds advance, no
+// process-global code-region registry whose layout depends on first-touch
+// order.
+#ifndef STAGEDCMP_HARNESS_WORLD_H_
+#define STAGEDCMP_HARNESS_WORLD_H_
+
+#include <memory>
+
+#include "harness/experiment.h"
+#include "trace/cost_model.h"
+#include "trace/tracer.h"
+
+namespace stagedcmp::harness {
+
+class WorkloadWorld {
+ public:
+  WorkloadWorld(const workload::TpccConfig& tpcc,
+                const workload::TpchConfig& tpch)
+      : regions_(&code_map_), tpcc_config_(tpcc), tpch_config_(tpch) {}
+
+  WorkloadWorld(const WorkloadWorld&) = delete;
+  WorkloadWorld& operator=(const WorkloadWorld&) = delete;
+
+  /// Generates one trace set against this world's databases, recording
+  /// through this world's code regions. Not internally synchronized —
+  /// one world serves one build at a time; run concurrent builds in
+  /// separate worlds.
+  TraceSet Build(const TraceSetConfig& config);
+
+  /// This world's code-region geometry. Every world registers the full
+  /// canonical RegionSet eagerly, so the layout is identical across
+  /// worlds (and to RegionSet::Global()) — PCs in recorded traces do not
+  /// depend on which world recorded them.
+  const trace::RegionSet& regions() const { return regions_; }
+  const trace::CodeMap& code_map() const { return code_map_; }
+
+  /// Lazily loaded, world-private databases (exposed for tests and
+  /// inspection; Build() loads only the side it needs).
+  workload::Database* oltp_db();
+  workload::Database* dss_db();
+
+ private:
+  trace::CodeMap code_map_;
+  trace::RegionSet regions_;
+  workload::TpccConfig tpcc_config_;
+  workload::TpchConfig tpch_config_;
+  std::unique_ptr<workload::Database> oltp_db_;
+  std::unique_ptr<workload::Database> dss_db_;
+};
+
+}  // namespace stagedcmp::harness
+
+#endif  // STAGEDCMP_HARNESS_WORLD_H_

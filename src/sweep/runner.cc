@@ -5,10 +5,13 @@
 #include <condition_variable>
 #include <cstdio>
 #include <exception>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <utility>
+#include <vector>
 
+#include "common/threadpool.h"
 #include "sweep/trace_bundle.h"
 #include "sweep/trace_cache.h"
 
@@ -21,22 +24,26 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// The distinct trace-set configs of `cells` in canonical build order —
-/// the sequence the builder thread will realize and the unit a trace
-/// bundle persists. Identity is TraceSetCache::MakeKey, the same
+/// The distinct trace-set configs of `cells` in canonical (first-use)
+/// order — the build-pool submission order and the unit a trace bundle
+/// persists. Also fills `cfg_of`: for each cell, the index of its config
+/// in the returned vector. Identity is TraceSetCache::MakeKey, the same
 /// equivalence Get() dedups by.
 std::vector<harness::TraceSetConfig> DistinctConfigs(
-    const std::vector<Cell>& cells) {
+    const std::vector<Cell>& cells, std::vector<size_t>* cfg_of) {
   std::vector<harness::TraceSetConfig> out;
-  for (const Cell& cell : cells) {
-    bool seen = false;
-    for (const harness::TraceSetConfig& c : out) {
-      if (TraceSetCache::MakeKey(c) == TraceSetCache::MakeKey(cell.trace)) {
-        seen = true;
+  cfg_of->resize(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    size_t found = out.size();
+    for (size_t j = 0; j < out.size(); ++j) {
+      if (TraceSetCache::MakeKey(out[j]) ==
+          TraceSetCache::MakeKey(cells[i].trace)) {
+        found = j;
         break;
       }
     }
-    if (!seen) out.push_back(cell.trace);
+    if (found == out.size()) out.push_back(cells[i].trace);
+    (*cfg_of)[i] = found;
   }
   return out;
 }
@@ -57,11 +64,13 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
   TraceSetCache& cache = shared_cache_ ? *shared_cache_ : private_cache;
   const uint64_t builds_before = cache.stats().builds;
 
+  std::vector<size_t> cfg_of;  // cell index -> distinct-config index
+  std::vector<harness::TraceSetConfig> distinct =
+      DistinctConfigs(cells, &cfg_of);
+
   // Trace bundle: try to serve the whole build sequence from disk.
-  std::vector<harness::TraceSetConfig> distinct;
   if (!options_.trace_bundle.empty() && !cells.empty()) {
     const auto load_t0 = std::chrono::steady_clock::now();
-    distinct = DistinctConfigs(cells);
     std::vector<harness::TraceSet> loaded;
     if (LoadTraceBundle(options_.trace_bundle, *factory_, distinct,
                         &loaded)) {
@@ -81,19 +90,21 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
   }
   report.threads = cells.empty() ? 0 : threads;
 
-  // Builder/worker pipeline. One dedicated builder thread constructs the
-  // trace sets serially in canonical cell order (trace generation mutates
-  // the workload databases and the global code-region map, and its order
-  // changes the traces — see trace_cache.h — so it must stay serial and
-  // ordered). Sim workers claim cells off an atomic counter and wait for
-  // their cell's trace set to be published, so early cells simulate while
-  // later sets still build: replay only reads immutable TraceSets, never
-  // the factory or the code map. Results land at their cell's canonical
-  // index, keeping output identical for any thread count.
-  std::vector<const harness::TraceSet*> traces(cells.size(), nullptr);
+  // Build/sim pipeline. Cold trace sets build on a work pool — one task
+  // per distinct config, submitted in canonical order — while sim workers
+  // claim cells off an atomic counter (idle workers "steal" the next
+  // unclaimed cell, so load imbalance self-corrects). Each build runs in
+  // an isolated WorkloadWorld, so builds neither share state with each
+  // other nor with the replaying workers; a worker waits only for its own
+  // cell's config slot to be published. Results land at their cell's
+  // canonical index, so output order never depends on completion order —
+  // and since builds are pure functions of their config, sink output is
+  // thread-count-invariant (byte-for-byte for golden fields; simulated
+  // metrics additionally track heap placement, see sinks.h).
+  std::vector<const harness::TraceSet*> built_sets(distinct.size(), nullptr);
+  std::vector<char> built_done(distinct.size(), 0);
   std::mutex build_mu;
   std::condition_variable build_cv;
-  size_t built = 0;  // cells[0..built) have their trace set published
 
   std::mutex err_mu;
   std::exception_ptr first_error;
@@ -102,25 +113,19 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
     if (!first_error) first_error = std::current_exception();
   };
 
-  auto builder = [&] {
-    const auto t0 = std::chrono::steady_clock::now();
-    for (size_t i = 0; i < cells.size(); ++i) {
-      bool failed = false;
-      try {
-        const harness::TraceSet* ts = &cache.Get(cells[i].trace);
-        std::lock_guard<std::mutex> lock(build_mu);
-        traces[i] = ts;
-        built = i + 1;
-      } catch (...) {
-        record_error();
-        failed = true;
-        std::lock_guard<std::mutex> lock(build_mu);
-        built = cells.size();  // release all waiters; their slots stay null
-      }
-      build_cv.notify_all();
-      if (failed) break;
+  auto build_one = [&](size_t j) {
+    try {
+      const harness::TraceSet* ts = &cache.Get(distinct[j]);
+      std::lock_guard<std::mutex> lock(build_mu);
+      built_sets[j] = ts;
+    } catch (...) {
+      record_error();
     }
-    report.build_wall_seconds = SecondsSince(t0);
+    {
+      std::lock_guard<std::mutex> lock(build_mu);
+      built_done[j] = 1;  // on failure the slot stays null; waiters drain
+    }
+    build_cv.notify_all();
   };
 
   std::atomic<size_t> next{0};
@@ -128,18 +133,20 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
     while (true) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= cells.size()) break;
+      const size_t j = cfg_of[i];
       {
         std::unique_lock<std::mutex> lock(build_mu);
-        build_cv.wait(lock, [&] { return built > i; });
-        if (traces[i] == nullptr) continue;  // build failed; drain
+        build_cv.wait(lock, [&] { return built_done[j] != 0; });
+        if (built_sets[j] == nullptr) continue;  // build failed; drain
       }
       try {
         const auto t0 = std::chrono::steady_clock::now();
         CellResult& out = report.cells[i];
         out.cell = cells[i];
-        out.trace_total_instructions = traces[i]->total_instructions;
-        out.trace_total_events = traces[i]->total_events;
-        out.result = harness::RunExperiment(cells[i].exp, *traces[i], &out.hw);
+        out.trace_total_instructions = built_sets[j]->total_instructions;
+        out.trace_total_events = built_sets[j]->total_events;
+        out.result =
+            harness::RunExperiment(cells[i].exp, *built_sets[j], &out.hw);
         out.sim_wall_seconds = SecondsSince(t0);
       } catch (...) {
         record_error();
@@ -150,12 +157,25 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
 
   const auto sim_t0 = std::chrono::steady_clock::now();
   if (!cells.empty()) {
-    std::thread build_thread(builder);
+    uint32_t build_threads = threads;
+    if (build_threads > distinct.size()) {
+      build_threads = static_cast<uint32_t>(distinct.size());
+    }
+    ThreadPool build_pool(build_threads);
+    std::vector<std::future<void>> build_futures;
+    build_futures.reserve(distinct.size());
+    for (size_t j = 0; j < distinct.size(); ++j) {
+      build_futures.push_back(build_pool.Submit([&build_one, j] {
+        build_one(j);
+      }));
+    }
     std::vector<std::thread> pool;
     pool.reserve(threads);
     for (uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    // build_one traps its own exceptions, so get() only synchronizes.
+    for (std::future<void>& f : build_futures) f.get();
+    report.build_wall_seconds = SecondsSince(sim_t0);
     for (std::thread& t : pool) t.join();
-    build_thread.join();
   }
   report.sim_wall_seconds = SecondsSince(sim_t0);
   report.trace_sets_built = cache.stats().builds - builds_before;

@@ -1,21 +1,28 @@
 // Parallel sweep execution. A SweepRunner expands a SweepSpec and runs
-// its cells as a builder/worker pipeline: one dedicated builder thread
-// constructs trace sets serially in canonical cell order while a pool of
-// sim workers pulls cells off a shared atomic counter (idle workers
-// "steal" the next unclaimed cell, so load imbalance between cheap and
-// expensive cells self-corrects) — early cells simulate while later
-// trace sets are still building.
+// its cells as a build/sim pipeline: cold trace sets build on a work
+// pool (one task per distinct config, each inside an isolated
+// WorkloadWorld — see harness/world.h) while a pool of sim workers pulls
+// cells off a shared atomic counter (idle workers "steal" the next
+// unclaimed cell, so load imbalance between cheap and expensive cells
+// self-corrects) — a cell simulates as soon as its own trace set is
+// published, regardless of how many other sets are still building.
 //
-// Determinism: results are identical — byte for byte once serialized —
-// for any thread count. Two properties make that true:
-//   1. Trace-set construction stays serial and in canonical cell order
-//      on the builder thread (trace generation mutates the workload
-//      databases and the global code-region map, so build ORDER changes
-//      the traces; see trace_cache.h). Workers only replay immutable,
-//      already-published TraceSets.
+// Determinism: golden output — grid, labels, configs, trace skeleton
+// totals — is identical byte for byte for any thread count. Three
+// properties make that true:
+//   1. Each trace set is a pure function of its config (isolated world:
+//      fresh databases, private code-region map), so neither build order
+//      nor build overlap changes a set's contents.
 //   2. Each worker writes its cell's result into a slot preallocated at
 //      the cell's canonical index, so output order never depends on
 //      completion order.
+//   3. Cells of the same config share one TraceSet instance, so their
+//      simulated metrics replay the same bytes.
+// Full simulated metrics additionally track heap placement (traces embed
+// real data addresses), so they are byte-stable only when the same trace
+// bytes are replayed — across thread counts that holds within one
+// process (warm cache or bundle), not across separate cold processes;
+// see sinks.h.
 #ifndef STAGEDCMP_SWEEP_RUNNER_H_
 #define STAGEDCMP_SWEEP_RUNNER_H_
 
@@ -32,7 +39,9 @@ namespace stagedcmp::sweep {
 class TraceSetCache;
 
 struct RunnerOptions {
-  /// Worker threads for the simulation phase; 0 = hardware concurrency.
+  /// Worker threads for the simulation phase, and the cap on the build
+  /// pool (which uses min(threads, distinct configs) workers); 0 =
+  /// hardware concurrency.
   uint32_t threads = 0;
   /// Optional trace-bundle file (see trace_bundle.h). When set, the run
   /// loads its trace sets from this file if it matches the sweep's
@@ -60,7 +69,7 @@ struct SweepReport {
   std::vector<std::string> axis_names;
   uint32_t threads = 1;            ///< sim workers actually used
   double load_wall_seconds = 0.0;  ///< trace-bundle probe/load (serial)
-  double build_wall_seconds = 0.0; ///< builder thread (overlaps the sims)
+  double build_wall_seconds = 0.0; ///< build pool (overlaps the sims)
   double sim_wall_seconds = 0.0;   ///< builder+worker pipeline wall-clock
   double wall_seconds = 0.0;       ///< end-to-end Run() wall-clock
   uint64_t trace_sets_built = 0;   ///< distinct TraceSetConfigs built

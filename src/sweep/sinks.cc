@@ -275,18 +275,25 @@ void CsvSink::Emit(const SweepReport& report, std::ostream& os) const {
         "l2_ports", "fixed_l2_latency"}) {
     header.emplace_back(std::string("cfg_") + c);
   }
-  for (const char* m :
-       {"instructions", "elapsed_cycles", "cpi", "uipc", "l1d_hit_rate",
-        "l1i_hit_rate", "l2_hit_rate", "requests_completed",
-        "avg_response_cycles", "queue_delay_mean", "l1_to_l1_transfers",
-        "invalidations", "writebacks"}) {
-    header.emplace_back(m);
+  // Trace-set skeleton totals: process-invariant (like the JSON sink's
+  // "trace_set" object), so they survive into golden mode.
+  header.emplace_back("trace_total_instructions");
+  header.emplace_back("trace_total_events");
+  if (!golden_) {
+    for (const char* m :
+         {"instructions", "elapsed_cycles", "cpi", "uipc", "l1d_hit_rate",
+          "l1i_hit_rate", "l2_hit_rate", "requests_completed",
+          "avg_response_cycles", "queue_delay_mean", "l1_to_l1_transfers",
+          "invalidations", "writebacks"}) {
+      header.emplace_back(m);
+    }
+    for (int b = 0; b < static_cast<int>(coresim::Bucket::kCount); ++b) {
+      header.emplace_back(
+          std::string("cpi_") +
+          coresim::BucketName(static_cast<coresim::Bucket>(b)));
+    }
   }
-  for (int b = 0; b < static_cast<int>(coresim::Bucket::kCount); ++b) {
-    header.emplace_back(std::string("cpi_") +
-                        coresim::BucketName(static_cast<coresim::Bucket>(b)));
-  }
-  if (include_timing_) header.emplace_back("sim_wall_seconds");
+  if (include_timing_ && !golden_) header.emplace_back("sim_wall_seconds");
 
   TablePrinter table(std::move(header));
   for (const CellResult& cr : report.cells) {
@@ -308,23 +315,27 @@ void CsvSink::Emit(const SweepReport& report, std::ostream& os) const {
     row.push_back(ec.saturated ? "1" : "0");
     row.push_back(std::to_string(ec.l2_ports));
     row.push_back(std::to_string(ec.fixed_l2_latency));
-    row.push_back(std::to_string(r.instructions));
-    row.push_back(std::to_string(r.elapsed_cycles));
-    row.push_back(Dbl(r.cpi()));
-    row.push_back(Dbl(r.uipc()));
-    row.push_back(Dbl(r.l1d_hit_rate));
-    row.push_back(Dbl(r.l1i_hit_rate));
-    row.push_back(Dbl(r.l2_hit_rate));
-    row.push_back(std::to_string(r.requests_completed));
-    row.push_back(Dbl(r.avg_response_cycles));
-    row.push_back(Dbl(r.mem.queue_delay.mean()));
-    row.push_back(std::to_string(r.mem.l1_to_l1_transfers));
-    row.push_back(std::to_string(r.mem.invalidations));
-    row.push_back(std::to_string(r.mem.writebacks));
-    for (int b = 0; b < static_cast<int>(coresim::Bucket::kCount); ++b) {
-      row.push_back(Dbl(r.CpiComponent(static_cast<coresim::Bucket>(b))));
+    row.push_back(std::to_string(cr.trace_total_instructions));
+    row.push_back(std::to_string(cr.trace_total_events));
+    if (!golden_) {
+      row.push_back(std::to_string(r.instructions));
+      row.push_back(std::to_string(r.elapsed_cycles));
+      row.push_back(Dbl(r.cpi()));
+      row.push_back(Dbl(r.uipc()));
+      row.push_back(Dbl(r.l1d_hit_rate));
+      row.push_back(Dbl(r.l1i_hit_rate));
+      row.push_back(Dbl(r.l2_hit_rate));
+      row.push_back(std::to_string(r.requests_completed));
+      row.push_back(Dbl(r.avg_response_cycles));
+      row.push_back(Dbl(r.mem.queue_delay.mean()));
+      row.push_back(std::to_string(r.mem.l1_to_l1_transfers));
+      row.push_back(std::to_string(r.mem.invalidations));
+      row.push_back(std::to_string(r.mem.writebacks));
+      for (int b = 0; b < static_cast<int>(coresim::Bucket::kCount); ++b) {
+        row.push_back(Dbl(r.CpiComponent(static_cast<coresim::Bucket>(b))));
+      }
     }
-    if (include_timing_) row.push_back(Dbl(cr.sim_wall_seconds));
+    if (include_timing_ && !golden_) row.push_back(Dbl(cr.sim_wall_seconds));
     table.AddRow(std::move(row));
   }
   table.PrintCsv(os);
@@ -377,7 +388,19 @@ void EmitPerfSummary(const SweepReport& report, std::ostream& os,
 }
 
 std::unique_ptr<ResultSink> MakeSink(const std::string& format,
-                                     bool include_timing) {
+                                     bool include_timing, bool golden) {
+  if (golden) {
+    // Golden output is always timing-free; a table has no golden subset.
+    if (format == "json") {
+      return std::make_unique<JsonSink>(/*include_timing=*/false,
+                                        /*golden=*/true);
+    }
+    if (format == "csv") {
+      return std::make_unique<CsvSink>(/*include_timing=*/false,
+                                       /*golden=*/true);
+    }
+    return nullptr;
+  }
   if (format == "table") return std::make_unique<TableSink>(include_timing);
   if (format == "json") return std::make_unique<JsonSink>(include_timing);
   if (format == "csv") return std::make_unique<CsvSink>(include_timing);

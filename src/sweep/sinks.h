@@ -64,15 +64,21 @@ class JsonSink : public ResultSink {
   bool golden_;
 };
 
-/// Flat CSV, one row per cell: index, axis values, config, metrics.
+/// Flat CSV, one row per cell: index, axis values, config, trace-set
+/// totals, metrics.
+///
+/// `golden` mirrors JsonSink's golden mode: only the process-invariant
+/// columns (index, axes, config, trace-set totals) are emitted, so the
+/// bytes can be diffed across processes and thread counts.
 class CsvSink : public ResultSink {
  public:
-  explicit CsvSink(bool include_timing = true)
-      : include_timing_(include_timing) {}
+  explicit CsvSink(bool include_timing = true, bool golden = false)
+      : include_timing_(include_timing), golden_(golden) {}
   void Emit(const SweepReport& report, std::ostream& os) const override;
 
  private:
   bool include_timing_;
+  bool golden_;
 };
 
 /// An extra top-level section appended to the perf summary: `raw_json`
@@ -90,9 +96,11 @@ struct PerfSection {
 void EmitPerfSummary(const SweepReport& report, std::ostream& os,
                      const std::vector<PerfSection>& extras = {});
 
-/// Factory for --format values: "table", "json", "csv". Null on unknown.
+/// Factory for --format values: "table", "json", "csv". Null on unknown
+/// (and on golden table output, which has no process-invariant subset).
 std::unique_ptr<ResultSink> MakeSink(const std::string& format,
-                                     bool include_timing);
+                                     bool include_timing,
+                                     bool golden = false);
 
 }  // namespace stagedcmp::sweep
 

@@ -6,14 +6,15 @@
 // of trace sets one sweep builds so later runs of the same sweep skip
 // generation entirely.
 //
-// Why the whole sequence and not one file per set: trace generation
-// mutates shared state (workload databases, the global code-region map),
-// so a set's bytes depend on every build before it (see trace_cache.h).
-// A bundle is therefore all-or-nothing: it loads only when its recorded
-// config sequence exactly matches the sweep's canonical build order and
-// the factory's workload scale knobs are unchanged. Any mismatch — or a
-// short/corrupt file — falls back to a cold build (which then rewrites
-// the bundle).
+// Builds are pure functions of (config, scale knobs) — each runs in an
+// isolated WorkloadWorld (see harness/world.h), so a set's bytes no
+// longer depend on the builds before it. The bundle still persists the
+// whole sequence and stays all-or-nothing: it loads only when its
+// recorded config sequence exactly matches the sweep's canonical build
+// order and the factory's workload scale knobs are unchanged, which
+// keeps the match check trivial and the failure mode obvious. Any
+// mismatch — or a short/corrupt file — falls back to a cold build
+// (which then rewrites the bundle).
 //
 // Staleness caveat: the format records configs and scales, not the
 // engine's code. After changing trace generation itself (workloads,

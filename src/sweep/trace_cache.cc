@@ -9,43 +9,46 @@ TraceSetCache::Key TraceSetCache::MakeKey(const harness::TraceSetConfig& c) {
              c.requests_per_client, c.seed, static_cast<uint8_t>(c.engine));
 }
 
-const harness::TraceSet& TraceSetCache::Get(
-    const harness::TraceSetConfig& config) {
-  const Key key = MakeKey(config);
+std::shared_ptr<TraceSetCache::Entry> TraceSetCache::EntryFor(const Key& key) {
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return *it->second;
-    }
+    if (it != cache_.end()) return it->second;
   }
-
   std::unique_lock<std::shared_mutex> lock(mu_);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    // Lost the race to another builder between the two locks.
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    return *it->second;
-  }
-  auto built = std::make_unique<harness::TraceSet>(factory_->Build(config));
-  // Warm the pointer cache while still exclusive, so concurrent readers
-  // only ever see the (const) pre-populated fast path.
-  built->Pointers();
-  ++builds_;
-  it = cache_.emplace(key, std::move(built)).first;
-  return *it->second;
+  std::shared_ptr<Entry>& slot = cache_[key];
+  if (!slot) slot = std::make_shared<Entry>();
+  return slot;
+}
+
+const harness::TraceSet& TraceSetCache::Get(
+    const harness::TraceSetConfig& config) {
+  std::shared_ptr<Entry> entry = EntryFor(MakeKey(config));
+  bool built_now = false;
+  // One builder per entry; same-config callers block here until it is
+  // ready. If the build throws, the flag stays unset and the exception
+  // propagates — the next caller retries.
+  std::call_once(entry->once, [&] {
+    auto built = std::make_unique<harness::TraceSet>(factory_->Build(config));
+    // Warm the pointer cache before publication, so concurrent readers
+    // only ever see the (const) pre-populated fast path.
+    built->Pointers();
+    entry->set = std::move(built);
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    built_now = true;
+  });
+  if (!built_now) hits_.fetch_add(1, std::memory_order_relaxed);
+  return *entry->set;
 }
 
 const harness::TraceSet& TraceSetCache::Insert(harness::TraceSet&& set) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  const Key key = MakeKey(set.config);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return *it->second;
-  auto owned = std::make_unique<harness::TraceSet>(std::move(set));
-  owned->Pointers();  // warm while exclusive, as in Get()
-  it = cache_.emplace(key, std::move(owned)).first;
-  return *it->second;
+  std::shared_ptr<Entry> entry = EntryFor(MakeKey(set.config));
+  std::call_once(entry->once, [&] {
+    auto owned = std::make_unique<harness::TraceSet>(std::move(set));
+    owned->Pointers();  // warm before publication, as in Get()
+    entry->set = std::move(owned);
+  });
+  return *entry->set;
 }
 
 void TraceSetCache::EvictAll() {
@@ -56,10 +59,9 @@ void TraceSetCache::EvictAll() {
 }
 
 TraceSetCache::Stats TraceSetCache::stats() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
-  s.builds = builds_;
+  s.builds = builds_.load(std::memory_order_relaxed);
   return s;
 }
 

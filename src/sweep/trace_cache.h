@@ -3,20 +3,19 @@
 // cells (and threads).
 //
 // Thread-safety contract:
-//   * Get() may be called concurrently from any number of threads; lookups
-//     take a shared lock, builds take the exclusive lock.
-//   * Builds are fully serialized under the exclusive lock. This is a
-//     correctness requirement, not just simplicity: trace generation
-//     mutates shared state (the factory's workload databases — OLTP
-//     transactions commit into them — and the process-global
-//     trace::CodeMap registry), so two builds must never overlap.
-//   * The ORDER in which distinct configs are first built still changes
-//     the traces (database state and code-region layout evolve build to
-//     build). Callers that need run-to-run determinism must warm the
-//     cache in a deterministic order — SweepRunner does this by building
-//     in canonical cell order before the parallel phase.
+//   * Get() may be called concurrently from any number of threads.
+//   * DISTINCT configs build concurrently: each cache entry carries its
+//     own std::once_flag, and WorkloadFactory::Build runs in an isolated
+//     WorkloadWorld (fresh databases, private code-region map — see
+//     harness/world.h), so overlapping builds share nothing. Callers of
+//     the SAME config rendezvous on the entry's once_flag — one builds,
+//     the rest block until it is ready.
+//   * Builds are pure functions of (config, factory scale knobs): build
+//     order and build concurrency never change a set's contents. Event
+//     skeletons are exactly reproducible; absolute data addresses follow
+//     heap placement (see tests/test_determinism.cc).
 //   * Returned references stay valid for the cache's lifetime (entries
-//     are heap-allocated and never evicted).
+//     are never evicted behind a caller's back; see EvictAll).
 #ifndef STAGEDCMP_SWEEP_TRACE_CACHE_H_
 #define STAGEDCMP_SWEEP_TRACE_CACHE_H_
 
@@ -24,6 +23,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <tuple>
 
@@ -33,7 +33,7 @@ namespace stagedcmp::sweep {
 
 class TraceSetCache {
  public:
-  explicit TraceSetCache(harness::WorkloadFactory* factory)
+  explicit TraceSetCache(const harness::WorkloadFactory* factory)
       : factory_(factory) {}
 
   TraceSetCache(const TraceSetCache&) = delete;
@@ -49,9 +49,10 @@ class TraceSetCache {
 
   /// Drops every cached trace set, releasing event storage via
   /// ClientTrace::Release(). The caller must guarantee no returned
-  /// reference is still in use (call between sweeps, never during one) —
-  /// this is the eviction path that keeps long-lived caches from holding
-  /// the peak working set of every sweep they ever served.
+  /// reference is still in use and no Get() is in flight (call between
+  /// sweeps, never during one) — this is the eviction path that keeps
+  /// long-lived caches from holding the peak working set of every sweep
+  /// they ever served.
   void EvictAll();
 
   struct Stats {
@@ -68,11 +69,22 @@ class TraceSetCache {
   static Key MakeKey(const harness::TraceSetConfig& c);
 
  private:
-  harness::WorkloadFactory* factory_;
-  mutable std::shared_mutex mu_;
-  std::map<Key, std::unique_ptr<harness::TraceSet>> cache_;
-  std::atomic<uint64_t> hits_{0};  ///< bumped under the shared lock
-  uint64_t builds_ = 0;            ///< guarded by the exclusive lock
+  /// One cache slot. The once_flag serializes same-config builders while
+  /// the map's shared_mutex only guards slot lookup/creation — so
+  /// different entries build fully in parallel.
+  struct Entry {
+    std::once_flag once;
+    std::unique_ptr<harness::TraceSet> set;
+  };
+
+  /// Finds or creates the (possibly not-yet-built) entry for `key`.
+  std::shared_ptr<Entry> EntryFor(const Key& key);
+
+  const harness::WorkloadFactory* factory_;
+  mutable std::shared_mutex mu_;  ///< guards cache_ structure only
+  std::map<Key, std::shared_ptr<Entry>> cache_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> builds_{0};
 };
 
 }  // namespace stagedcmp::sweep

@@ -2,40 +2,57 @@
 
 namespace stagedcmp::trace {
 
-namespace {
-CodeRegion Get(const char* name, uint32_t size) {
-  return CodeMap::Global().Region(name, size);
+RegionSet::RegionSet(CodeMap* map) {
+  auto reg = [&](RegionId id, const char* name, uint32_t size) {
+    regions_[static_cast<size_t>(id)] = map->Region(name, size);
+  };
+  // Canonical registration order. This fixes the PC layout of every world
+  // (and the Global() compat map) to the order the old lazy accessors
+  // produced on the sweep path, so traces keep their historical PC
+  // streams: bufferpool first — its base equals CodeMap::kCodeBase, which
+  // a fresh Tracer treats as its initial region — then the substrate and
+  // operator regions in first-touch order, with the operators no workload
+  // path traces at the tail.
+  reg(RegionId::kBufferPool, "bufferpool", CodeFootprint::kBufferPool);
+  reg(RegionId::kLockMgr, "lockmgr", CodeFootprint::kLockMgr);
+  reg(RegionId::kTxn, "txn", CodeFootprint::kTxn);
+  reg(RegionId::kBtree, "btree", CodeFootprint::kBtree);
+  reg(RegionId::kCatalog, "catalog", CodeFootprint::kCatalogParse);
+  reg(RegionId::kSeqScan, "seqscan", CodeFootprint::kSeqScan);
+  reg(RegionId::kAggregate, "aggregate", CodeFootprint::kAggregate);
+  reg(RegionId::kHashBuild, "hashbuild", CodeFootprint::kHashJoinBuild);
+  reg(RegionId::kHashProbe, "hashprobe", CodeFootprint::kHashJoinProbe);
+  reg(RegionId::kFilter, "filter", CodeFootprint::kFilter);
+  reg(RegionId::kStageRuntime, "stageruntime", CodeFootprint::kStageRuntime);
+  reg(RegionId::kIndexScan, "indexscan", CodeFootprint::kIndexScan);
+  reg(RegionId::kProject, "project", CodeFootprint::kProject);
+  reg(RegionId::kNlJoin, "nljoin", CodeFootprint::kNlJoin);
+  reg(RegionId::kSort, "sort", CodeFootprint::kSort);
 }
+
+const RegionSet& RegionSet::Global() {
+  static const RegionSet set(&CodeMap::Global());
+  return set;
+}
+
+namespace {
+CodeRegion Get(RegionId id) { return RegionSet::Global()[id]; }
 }  // namespace
 
-CodeRegion RegionSeqScan() { return Get("seqscan", CodeFootprint::kSeqScan); }
-CodeRegion RegionIndexScan() {
-  return Get("indexscan", CodeFootprint::kIndexScan);
-}
-CodeRegion RegionFilter() { return Get("filter", CodeFootprint::kFilter); }
-CodeRegion RegionProject() { return Get("project", CodeFootprint::kProject); }
-CodeRegion RegionHashBuild() {
-  return Get("hashbuild", CodeFootprint::kHashJoinBuild);
-}
-CodeRegion RegionHashProbe() {
-  return Get("hashprobe", CodeFootprint::kHashJoinProbe);
-}
-CodeRegion RegionNlJoin() { return Get("nljoin", CodeFootprint::kNlJoin); }
-CodeRegion RegionSort() { return Get("sort", CodeFootprint::kSort); }
-CodeRegion RegionAggregate() {
-  return Get("aggregate", CodeFootprint::kAggregate);
-}
-CodeRegion RegionBufferPool() {
-  return Get("bufferpool", CodeFootprint::kBufferPool);
-}
-CodeRegion RegionBtree() { return Get("btree", CodeFootprint::kBtree); }
-CodeRegion RegionLockMgr() { return Get("lockmgr", CodeFootprint::kLockMgr); }
-CodeRegion RegionTxn() { return Get("txn", CodeFootprint::kTxn); }
-CodeRegion RegionCatalog() {
-  return Get("catalog", CodeFootprint::kCatalogParse);
-}
-CodeRegion RegionStageRuntime() {
-  return Get("stageruntime", CodeFootprint::kStageRuntime);
-}
+CodeRegion RegionSeqScan() { return Get(RegionId::kSeqScan); }
+CodeRegion RegionIndexScan() { return Get(RegionId::kIndexScan); }
+CodeRegion RegionFilter() { return Get(RegionId::kFilter); }
+CodeRegion RegionProject() { return Get(RegionId::kProject); }
+CodeRegion RegionHashBuild() { return Get(RegionId::kHashBuild); }
+CodeRegion RegionHashProbe() { return Get(RegionId::kHashProbe); }
+CodeRegion RegionNlJoin() { return Get(RegionId::kNlJoin); }
+CodeRegion RegionSort() { return Get(RegionId::kSort); }
+CodeRegion RegionAggregate() { return Get(RegionId::kAggregate); }
+CodeRegion RegionBufferPool() { return Get(RegionId::kBufferPool); }
+CodeRegion RegionBtree() { return Get(RegionId::kBtree); }
+CodeRegion RegionLockMgr() { return Get(RegionId::kLockMgr); }
+CodeRegion RegionTxn() { return Get(RegionId::kTxn); }
+CodeRegion RegionCatalog() { return Get(RegionId::kCatalog); }
+CodeRegion RegionStageRuntime() { return Get(RegionId::kStageRuntime); }
 
 }  // namespace stagedcmp::trace

@@ -68,7 +68,9 @@ struct CodeFootprint {
   static constexpr uint32_t kStageRuntime = 18 * 1024;
 };
 
-/// Named accessors (registered lazily in the global CodeMap).
+/// Named accessors over RegionSet::Global() — compat shims for callers
+/// outside the world-isolated build path (examples, tests). The first
+/// call registers the full canonical set in CodeMap::Global().
 CodeRegion RegionSeqScan();
 CodeRegion RegionIndexScan();
 CodeRegion RegionFilter();

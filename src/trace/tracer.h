@@ -34,9 +34,15 @@ struct CodeRegion {
   bool valid() const { return size != 0; }
 };
 
-/// Static registry of code regions, one per engine component.
-/// Sizes approximate the hot-path footprint of each component in a
-/// commercial engine (total ~ several hundred KB >> 32KB L1I).
+/// Registry of code regions, one per engine component. Sizes approximate
+/// the hot-path footprint of each component in a commercial engine (total
+/// ~ several hundred KB >> 32KB L1I).
+///
+/// Instances are independent: each workload "world" owns one, so
+/// concurrent trace builds never share registration state. Global() is
+/// the process-wide compat instance for single-world callers (examples,
+/// ad-hoc tests). A CodeMap is not internally synchronized — register
+/// from one thread, read from many.
 class CodeMap {
  public:
   static constexpr uint64_t kCodeBase = 0x400000000000ULL;
@@ -57,10 +63,58 @@ class CodeMap {
   uint64_t next_offset_ = 0;
 };
 
-/// Per-client trace recorder.
+/// Stable identity of an engine component's code region. The database
+/// layer stores these (not resolved CodeRegions), so the same engine
+/// object can be traced against any world's CodeMap — the Tracer resolves
+/// the id through its RegionSet at EnterRegion time.
+enum class RegionId : uint8_t {
+  kSeqScan,
+  kIndexScan,
+  kFilter,
+  kProject,
+  kHashBuild,
+  kHashProbe,
+  kNlJoin,
+  kSort,
+  kAggregate,
+  kBufferPool,
+  kBtree,
+  kLockMgr,
+  kTxn,
+  kCatalog,
+  kStageRuntime,
+};
+inline constexpr size_t kRegionCount = 15;
+
+/// All engine code regions resolved against one CodeMap. The constructor
+/// registers every region eagerly in one canonical order (see
+/// cost_model.cc), so every world — and the Global() compat set — shares
+/// a single, build-order-independent PC layout.
+class RegionSet {
+ public:
+  /// Registers all kRegionCount regions into `map` in canonical order.
+  explicit RegionSet(CodeMap* map);
+
+  const CodeRegion& operator[](RegionId id) const {
+    return regions_[static_cast<size_t>(id)];
+  }
+
+  /// The process-wide set, registered into CodeMap::Global().
+  static const RegionSet& Global();
+
+ private:
+  CodeRegion regions_[kRegionCount];
+};
+
+/// Per-client trace recorder. Resolves RegionIds through the RegionSet it
+/// was constructed with (a world's set, or the global compat set), so
+/// tracers in different worlds never touch shared registration state.
 class Tracer {
  public:
-  Tracer() { Reset(); }
+  explicit Tracer(const RegionSet* regions = &RegionSet::Global())
+      : regions_(regions) {
+    Reset();
+  }
 
   void Reset() {
     trace_.Clear();
@@ -76,6 +130,10 @@ class Tracer {
   /// Enables/disables recording (e.g. during data load).
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
+
+  /// Switches the active code region (operator entry), resolving the id
+  /// through this tracer's RegionSet.
+  void EnterRegion(RegionId id) { EnterRegion((*regions_)[id]); }
 
   /// Switches the active code region (operator entry). Emits a compute
   /// event with an explicit PC so the replayer jumps.
@@ -227,6 +285,7 @@ class Tracer {
     return region_pc_.back().second;
   }
 
+  const RegionSet* regions_;
   ClientTrace trace_;
   CodeRegion region_;
   uint32_t pc_off_ = 0;

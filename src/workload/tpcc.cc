@@ -315,7 +315,7 @@ void TpccDriver::Run(TpccTxnType type, trace::Tracer* tracer) {
   // thousands of instructions per statement here; it is a large part of
   // OLTP's instruction footprint (and of its computation component).
   if (tracer != nullptr) {
-    tracer->EnterRegion(trace::RegionCatalog());
+    tracer->EnterRegion(trace::RegionId::kCatalog);
     tracer->Compute(2400);
   }
   switch (type) {

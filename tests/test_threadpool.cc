@@ -1,0 +1,166 @@
+// ThreadPool contract tests: FIFO dispatch, result/exception propagation
+// through futures, drain-vs-discard shutdown, and a many-producer stress
+// run. The pool schedules the sweep's cold trace-set builds, so the
+// guarantees exercised here are exactly the ones runner.cc leans on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/threadpool.h"
+
+namespace stagedcmp {
+namespace {
+
+TEST(ThreadPool, SingleWorkerExecutesInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::mutex mu;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPool, FuturesCarryResults) {
+  ThreadPool pool(2);
+  std::future<int> a = pool.Submit([] { return 6 * 7; });
+  std::future<std::string> b =
+      pool.Submit([]() -> std::string { return "done"; });
+  EXPECT_EQ(a.get(), 42);
+  EXPECT_EQ(b.get(), "done");
+}
+
+TEST(ThreadPool, ExceptionsPropagateAndWorkerSurvives) {
+  ThreadPool pool(1);
+  std::future<void> bad =
+      pool.Submit([]() -> void { throw std::runtime_error("boom"); });
+  // The worker must outlive the throw: a task submitted afterwards still
+  // runs to completion on the same (only) thread.
+  std::future<int> good = pool.Submit([] { return 7; });
+  EXPECT_THROW(
+      {
+        try {
+          bad.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "boom");
+          throw;
+        }
+      },
+      std::runtime_error);
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, ShutdownDrainRunsEveryQueuedTask) {
+  std::atomic<int> ran{0};
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  {
+    ThreadPool pool(1);
+    // Park the worker, pile work behind it, then let everything through
+    // while the destructor (drain semantics) is the one waiting.
+    pool.Submit([opened, &ran] {
+      opened.wait();
+      ++ran;
+    });
+    for (int i = 0; i < 8; ++i) pool.Submit([&ran] { ++ran; });
+    gate.set_value();
+  }  // ~ThreadPool == Shutdown(drain=true)
+  EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(ThreadPool, ShutdownDiscardBreaksQueuedPromisesButFinishesInFlight) {
+  std::atomic<int> ran{0};
+  std::atomic<bool> started{false};
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+
+  ThreadPool pool(1);
+  std::future<void> in_flight = pool.Submit([&, opened] {
+    started = true;
+    opened.wait();
+    ++ran;
+  });
+  while (!started) std::this_thread::yield();
+  // The single worker is parked inside the first task, so these stay
+  // queued until Shutdown(discard) abandons them.
+  std::vector<std::future<void>> queued;
+  for (int i = 0; i < 4; ++i) queued.push_back(pool.Submit([&] { ++ran; }));
+
+  // Shutdown(drain=false) joins the in-flight task, which is waiting on
+  // the gate — open the gate as soon as the queue has been discarded
+  // (observable as the queued futures turning ready with broken
+  // promises).
+  std::thread opener([&] {
+    queued.front().wait();
+    gate.set_value();
+  });
+  pool.Shutdown(/*drain=*/false);
+  opener.join();
+
+  EXPECT_NO_THROW(in_flight.get());
+  EXPECT_EQ(ran.load(), 1);
+  for (auto& f : queued) {
+    try {
+      f.get();
+      ADD_FAILURE() << "discarded task should break its promise";
+    } catch (const std::future_error& e) {
+      EXPECT_EQ(e.code(), std::make_error_code(std::future_errc::broken_promise));
+    }
+  }
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([] {}), std::runtime_error);
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.Submit([] { return 11; }).get(), 11);
+}
+
+TEST(ThreadPool, ManyProducersStress) {
+  constexpr int kProducers = 4;
+  constexpr int kTasksEach = 250;
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  std::vector<std::future<int>> futures[kProducers];
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        const int v = p * kTasksEach + i;
+        futures[p].push_back(pool.Submit([&, v] {
+          sum += v;
+          return v;
+        }));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  int64_t expect = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 0; i < kTasksEach; ++i) {
+      const int v = p * kTasksEach + i;
+      EXPECT_EQ(futures[p][static_cast<size_t>(i)].get(), v);
+      expect += v;
+    }
+  }
+  EXPECT_EQ(sum.load(), expect);
+}
+
+}  // namespace
+}  // namespace stagedcmp

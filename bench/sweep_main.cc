@@ -25,9 +25,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 
 #include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "common/trace_span.h"
 #include "memsim/hierarchy.h"
 #include "sweep/builtin_specs.h"
 #include "sweep/runner.h"
@@ -42,6 +46,7 @@ int Usage(const char* argv0, int code) {
       code == 0 ? stdout : stderr,
       "usage: %s --spec NAME [--threads N] [--format table|json|csv]\n"
       "          [--out FILE] [--perf-out FILE] [--trace-bundle FILE]\n"
+      "          [--metrics-out FILE] [--trace-out FILE]\n"
       "          [--deterministic] [--smp-snoop-reference]\n"
       "          [--smp-dir-probe]\n"
       "       %s --list\n"
@@ -52,6 +57,13 @@ int Usage(const char* argv0, int code) {
       "  --format F        result sink: table (default), json, csv\n"
       "  --out FILE        write results to FILE instead of stdout\n"
       "  --perf-out FILE   also write a BENCH_sweep.json perf summary\n"
+      "  --metrics-out F   write the run's metrics registry (cache, build\n"
+      "                    pool, sweep pipeline, replay counters) as JSON;\n"
+      "                    the same snapshot is merged into --perf-out\n"
+      "  --trace-out FILE  write a Chrome trace-event span timeline of\n"
+      "                    the run (load it in ui.perfetto.dev); with\n"
+      "                    --deterministic the bytes are canonical\n"
+      "                    (see docs/OBSERVABILITY.md)\n"
       "  --trace-bundle F  persist/reuse built trace sets on disk: a\n"
       "                    matching bundle skips trace generation (warm),\n"
       "                    otherwise the cold build rewrites it. Delete\n"
@@ -146,6 +158,8 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string perf_path;
   std::string bundle_path;
+  std::string metrics_path;
+  std::string trace_path;
   uint32_t threads = 0;
   bool deterministic = false;
   bool golden = false;
@@ -182,6 +196,10 @@ int main(int argc, char** argv) {
       perf_path = value("--perf-out");
     } else if (arg == "--trace-bundle") {
       bundle_path = value("--trace-bundle");
+    } else if (arg == "--metrics-out") {
+      metrics_path = value("--metrics-out");
+    } else if (arg == "--trace-out") {
+      trace_path = value("--trace-out");
     } else if (arg == "--deterministic") {
       deterministic = true;
     } else if (arg == "--golden") {
@@ -242,9 +260,22 @@ int main(int argc, char** argv) {
   }
 
   harness::WorkloadFactory factory;
+  // Metrics ride along whenever any machine-readable summary wants them:
+  // --metrics-out obviously, and --perf-out gets the same snapshot as
+  // its "metrics" section. Observability must never perturb results
+  // (check.sh re-diffs the golden with all of this on).
+  MetricsRegistry registry;
+  MetricsRegistry* const metrics =
+      (!metrics_path.empty() || !perf_path.empty()) ? &registry : nullptr;
+  std::unique_ptr<TraceCollector> tracer;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<TraceCollector>(deterministic);
+  }
   sweep::RunnerOptions options;
   options.threads = threads;
   options.trace_bundle = bundle_path;
+  options.metrics = metrics;
+  options.trace = tracer.get();
   sweep::SweepRunner runner(&factory, options);
   sweep::SweepSpec spec = sweep::BuiltinSpec(spec_name);
   // Axis mutators assign individual fields, so a base-config override
@@ -252,19 +283,40 @@ int main(int argc, char** argv) {
   if (smp_snoop_reference) spec.base_exp.smp_snoop_reference = true;
   const sweep::SweepReport report = runner.Run(spec);
 
-  if (out_path.empty()) {
-    sink->Emit(report, std::cout);
-  } else {
-    std::ofstream out(out_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot open '%s'\n", out_path.c_str());
+  {
+    TraceSpan sink_span(tracer.get(), "io", "sink.write");
+    if (out_path.empty()) {
+      sink->Emit(report, std::cout);
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open '%s'\n", out_path.c_str());
+        return 1;
+      }
+      sink->Emit(report, out);
+    }
+  }
+
+  // One snapshot (taken by the runner at the end of Run) feeds both
+  // outputs, so the --metrics-out file and the perf summary's "metrics"
+  // section always agree.
+  if (!metrics_path.empty()) {
+    std::ofstream mout(metrics_path);
+    if (!mout) {
+      std::fprintf(stderr, "cannot open '%s'\n", metrics_path.c_str());
       return 1;
     }
-    sink->Emit(report, out);
+    report.metrics.WriteJson(mout);
+    mout << "\n";
   }
 
   if (!perf_path.empty()) {
     std::vector<sweep::PerfSection> extras;
+    {
+      std::ostringstream met;
+      report.metrics.WriteJson(met, 2);
+      extras.push_back({"metrics", met.str()});
+    }
     bool probe_stats_match = true;
     if (smp_dir_probe) {
       extras.push_back({"smp_directory", RunSmpDirProbe(&probe_stats_match)});
@@ -280,6 +332,16 @@ int main(int argc, char** argv) {
                    "--smp-dir-probe: directory and snoop arms diverged\n");
       return 1;
     }
+  }
+
+  // The span timeline flushes last so it covers the sink write.
+  if (tracer) {
+    std::ofstream tout(trace_path);
+    if (!tout) {
+      std::fprintf(stderr, "cannot open '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    tracer->WriteJson(tout);
   }
   return 0;
 }

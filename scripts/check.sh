@@ -6,7 +6,9 @@
 # byte-diffed across --threads 1/2/8, every set rebuilt from scratch
 # through the parallel build pool each time), emits BENCH perf
 # trajectories for both the cold build+sim path and the warm replay path
-# (cells/sec, wall-clock, SMP directory-vs-snoop probe), diffs the
+# (cells/sec, wall-clock, SMP directory-vs-snoop probe), runs an
+# observability pass (metrics + span timeline on, golden re-diffed,
+# counters cross-checked against the perf summary), diffs the
 # smokesmp grid's directory and snoop-reference arms byte-for-byte, and
 # the sanitizer pass diffs the process-invariant --golden JSON against
 # tests/golden/sweep_smoke.json. An optional ThreadSanitizer pass races
@@ -125,6 +127,47 @@ if [[ $run_tier1 -eq 1 ]]; then
   # their stats must come out bit-identical (sweep_main exits non-zero
   # and records false here otherwise).
   grep -q '"stats_bit_identical": true' build/BENCH_sweep_fresh.json
+
+  echo "==> observability: metrics + span timeline on a warm smoke run"
+  # Golden bytes must be oblivious to observability: the run below turns
+  # on every sink at once (--golden + --metrics-out + --perf-out +
+  # --trace-out) and its output re-diffs the committed golden. The
+  # emitted JSON must parse, the cache counters must satisfy
+  # lookups == hits + misses, the replay engine's event counter must
+  # equal the perf summary's events_replayed, and the perf summary's
+  # "metrics" section must be the same snapshot as --metrics-out.
+  ./build/bench/sweep_main --spec smoke --threads 8 --golden \
+    --trace-bundle build/smoke.traces \
+    --out build/sweep_smoke_golden_obs.json \
+    --metrics-out build/smoke_metrics.json \
+    --perf-out build/BENCH_sweep_obs.json \
+    --trace-out build/smoke_trace.json
+  diff -u tests/golden/sweep_smoke.json build/sweep_smoke_golden_obs.json
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+m = json.load(open("build/smoke_metrics.json"))
+p = json.load(open("build/BENCH_sweep_obs.json"))
+t = json.load(open("build/smoke_trace.json"))
+c = m["counters"]
+assert c["trace_cache.hits"] + c["trace_cache.misses"] \
+    == c["trace_cache.lookups"], "cache lookups != hits + misses"
+assert c["replay.events_replayed"] == p["events_replayed"], \
+    "replay counter disagrees with perf summary"
+assert p["metrics"] == m, "--metrics-out and perf 'metrics' diverged"
+assert p["schema_version"] == 2 and "environment" in p, \
+    "perf summary missing schema_version/environment"
+xs = [e for e in t["traceEvents"] if e.get("ph") == "X"]
+assert xs, "trace timeline has no span events"
+names = {e["name"] for e in xs}
+assert any(n.startswith("cell:") for n in names), "no cell spans"
+assert any(n.startswith("build:") for n in names), "no build spans"
+print("    observability cross-checks OK "
+      f"({len(xs)} spans, {len(c)} counters)")
+EOF
+  else
+    echo "    python3 not found; skipping observability JSON cross-checks"
+  fi
 
   echo "==> SMP coherence: directory arm vs snoop reference, byte-identical"
   # Cold golden run writes the bundle; the two warm arms then replay the

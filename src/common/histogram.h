@@ -58,8 +58,19 @@ class LogHistogram {
   }
 
   uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
   double mean() const {
     return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0;
+  }
+
+  /// Adds another histogram's samples bucket-wise (shard aggregation in
+  /// common/metrics.h).
+  void MergeFrom(const LogHistogram& other) {
+    for (int i = 0; i < kBuckets; ++i) {
+      buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
   }
 
   /// Approximate quantile from bucket boundaries (upper bound of bucket).

@@ -15,9 +15,21 @@
 //     tasks — their futures report std::future_errc::broken_promise —
 //     and joins after in-flight tasks finish.
 //   * Submit after Shutdown throws std::runtime_error.
+//
+// Observability (optional, off by default): constructed with a
+// MetricsRegistry the pool maintains, under `<prefix>.`:
+//   * counters tasks_submitted / tasks_executed / tasks_discarded —
+//     submitted always equals executed + discarded once the pool is shut
+//     down (nothing is lost or double-counted);
+//   * gauge queue_depth — live queued-but-unstarted tasks; returns to 0
+//     after Shutdown in BOTH drain and discard modes (discard subtracts
+//     the abandoned tasks), its peak records the deepest backlog;
+//   * histograms task_wait_us / task_run_us — per-task queue wait and
+//     execution time.
 #ifndef STAGEDCMP_COMMON_THREADPOOL_H_
 #define STAGEDCMP_COMMON_THREADPOOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -26,16 +38,28 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace stagedcmp {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(uint32_t threads) {
+  explicit ThreadPool(uint32_t threads, MetricsRegistry* metrics = nullptr,
+                      const std::string& metric_prefix = "pool") {
+    if (metrics != nullptr) {
+      submitted_ = &metrics->counter(metric_prefix + ".tasks_submitted");
+      executed_ = &metrics->counter(metric_prefix + ".tasks_executed");
+      discarded_ = &metrics->counter(metric_prefix + ".tasks_discarded");
+      queue_depth_ = &metrics->gauge(metric_prefix + ".queue_depth");
+      wait_us_ = &metrics->histogram(metric_prefix + ".task_wait_us");
+      run_us_ = &metrics->histogram(metric_prefix + ".task_run_us");
+    }
     if (threads == 0) threads = 1;
     workers_.reserve(threads);
     for (uint32_t i = 0; i < threads; ++i) {
@@ -56,12 +80,21 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
+    Task entry;
+    entry.fn = [task] { (*task)(); };
+    if (submitted_ != nullptr) entry.enqueued = Clock::now();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) {
         throw std::runtime_error("ThreadPool: Submit after Shutdown");
       }
-      queue_.emplace_back([task] { (*task)(); });
+      // Counted before the task becomes poppable, so the gauge never
+      // goes transiently negative under a racing worker.
+      if (submitted_ != nullptr) {
+        submitted_->Add(1);
+        queue_depth_->Add(1);
+      }
+      queue_.push_back(std::move(entry));
     }
     cv_.notify_one();
     return fut;
@@ -73,7 +106,15 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       stopping_ = true;
-      if (!drain) queue_.clear();  // abandoned tasks break their promises
+      if (!drain && !queue_.empty()) {
+        // Abandoned tasks break their promises; the gauge must not keep
+        // counting work that will never run.
+        if (discarded_ != nullptr) {
+          discarded_->Add(queue_.size());
+          queue_depth_->Add(-static_cast<int64_t>(queue_.size()));
+        }
+        queue_.clear();
+      }
       workers.swap(workers_);
     }
     cv_.notify_all();
@@ -81,9 +122,23 @@ class ThreadPool {
   }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Task {
+    std::function<void()> fn;
+    Clock::time_point enqueued;  ///< only meaningful when metrics are on
+  };
+
+  static uint64_t MicrosSince(Clock::time_point t0) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              t0)
+            .count());
+  }
+
   void WorkerLoop() {
     while (true) {
-      std::function<void()> task;
+      Task task;
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -91,15 +146,32 @@ class ThreadPool {
         task = std::move(queue_.front());
         queue_.pop_front();
       }
-      task();  // packaged_task: exceptions land in the future
+      if (executed_ != nullptr) {
+        queue_depth_->Add(-1);
+        wait_us_->Record(MicrosSince(task.enqueued));
+        const Clock::time_point run_t0 = Clock::now();
+        task.fn();  // packaged_task: exceptions land in the future
+        run_us_->Record(MicrosSince(run_t0));
+        executed_->Add(1);
+      } else {
+        task.fn();
+      }
     }
   }
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+
+  // Observability handles; all null when constructed without a registry.
+  Counter* submitted_ = nullptr;
+  Counter* executed_ = nullptr;
+  Counter* discarded_ = nullptr;
+  Gauge* queue_depth_ = nullptr;
+  HistogramMetric* wait_us_ = nullptr;
+  HistogramMetric* run_us_ = nullptr;
 };
 
 }  // namespace stagedcmp

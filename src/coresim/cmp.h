@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "coresim/breakdown.h"
 #include "memsim/hierarchy.h"
@@ -75,6 +76,12 @@ struct SimConfig {
   /// per-type instantiation. Results must be bit-identical either way
   /// (tests/test_replay_equivalence.cc).
   bool force_generic_dispatch = false;
+  /// Observability hook: when set, the replay engine records its run
+  /// counters (events replayed, per-hierarchy access classes) into this
+  /// registry under `replay.*` once at the END of Run() — never per
+  /// event, so the hot loop is untouched and the hook is zero-cost when
+  /// off. Never changes SimResult.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct SimResult {
@@ -111,6 +118,37 @@ struct SimResult {
                : 0.0;
   }
 };
+
+/// SimConfig::metrics implementation: folds one finished run's counters
+/// into `registry` (names cataloged in docs/OBSERVABILITY.md). Called by
+/// the replay engine after Run(); callers replaying outside the engine
+/// may invoke it directly.
+inline void RecordReplayMetrics(MetricsRegistry* registry,
+                                const SimResult& r) {
+  using memsim::AccessClass;
+  auto data = [&r](AccessClass c) {
+    return r.mem.data_count[static_cast<int>(c)];
+  };
+  auto instr = [&r](AccessClass c) {
+    return r.mem.instr_count[static_cast<int>(c)];
+  };
+  registry->counter("replay.runs").Add(1);
+  registry->counter("replay.events_replayed").Add(r.events_replayed);
+  registry->counter("replay.instructions").Add(r.instructions);
+  registry->counter("replay.data_l1_hits").Add(data(AccessClass::kL1Hit));
+  registry->counter("replay.data_l2_hits").Add(data(AccessClass::kL2Hit));
+  registry->counter("replay.data_offchip").Add(data(AccessClass::kOffChip));
+  registry->counter("replay.data_coherence")
+      .Add(data(AccessClass::kCoherence));
+  registry->counter("replay.instr_l1_hits").Add(instr(AccessClass::kL1Hit));
+  registry->counter("replay.instr_l2_hits").Add(instr(AccessClass::kL2Hit));
+  registry->counter("replay.instr_offchip")
+      .Add(instr(AccessClass::kOffChip) + instr(AccessClass::kCoherence));
+  registry->counter("replay.l1_to_l1_transfers")
+      .Add(r.mem.l1_to_l1_transfers);
+  registry->counter("replay.invalidations").Add(r.mem.invalidations);
+  registry->counter("replay.writebacks").Add(r.mem.writebacks);
+}
 
 /// Runs a set of client traces on a CMP over the given hierarchy.
 /// Clients are assigned to hardware contexts round-robin; a context with

@@ -134,6 +134,9 @@ class ReplayEngine {
     out.l1i_hit_rate = hierarchy_->L1IHitRate();
     out.l2_hit_rate = hierarchy_->L2HitRate();
     out.mem = hierarchy_->stats();
+    // Observability hook fires once per run, after the hot loop — see
+    // SimConfig::metrics.
+    if (config_.metrics != nullptr) RecordReplayMetrics(config_.metrics, out);
     return out;
   }
 

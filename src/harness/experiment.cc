@@ -58,7 +58,8 @@ coresim::CoreParams MakeCoreParams(coresim::Camp camp) {
 
 coresim::SimResult RunExperiment(const ExperimentConfig& config,
                                  const TraceSet& traces,
-                                 ResolvedHardware* hw) {
+                                 ResolvedHardware* hw,
+                                 MetricsRegistry* metrics) {
   memsim::HierarchyConfig hc = MakeHierarchyConfig(config);
   std::unique_ptr<memsim::MemoryHierarchy> hierarchy =
       config.topology == Topology::kCmpShared
@@ -72,6 +73,7 @@ coresim::SimResult RunExperiment(const ExperimentConfig& config,
   sc.loop_traces = config.saturated;
   sc.max_instructions = config.saturated ? config.measure_instructions : 0;
   sc.warmup_instructions = config.saturated ? config.warmup_instructions : 0;
+  sc.metrics = metrics;
 
   if (hw != nullptr) {
     hw->l2_hit_cycles = hc.lat.l2_hit;

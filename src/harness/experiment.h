@@ -121,10 +121,13 @@ struct ResolvedHardware {
   uint32_t contexts_per_core = 0;
 };
 
-/// Runs one configuration over a trace set.
+/// Runs one configuration over a trace set. When `metrics` is non-null
+/// the replay engine folds the run's counters into it under `replay.*`
+/// (see SimConfig::metrics); results are identical either way.
 coresim::SimResult RunExperiment(const ExperimentConfig& config,
                                  const TraceSet& traces,
-                                 ResolvedHardware* hw = nullptr);
+                                 ResolvedHardware* hw = nullptr,
+                                 MetricsRegistry* metrics = nullptr);
 
 /// Builds the hierarchy+core configs without running (tests/inspection).
 memsim::HierarchyConfig MakeHierarchyConfig(const ExperimentConfig& config);

@@ -24,6 +24,24 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+uint64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+/// Human-readable trace-set identity for span names — canonical (built
+/// from the config only), so deterministic traces stay byte-stable.
+std::string ConfigLabel(const harness::TraceSetConfig& c) {
+  std::string s = harness::WorkloadName(c.workload);
+  s += "/c" + std::to_string(c.clients);
+  s += "/r" + std::to_string(c.requests_per_client);
+  s += "/s" + std::to_string(c.seed);
+  s += "/e" + std::to_string(static_cast<int>(c.engine));
+  return s;
+}
+
 /// The distinct trace-set configs of `cells` in canonical (first-use)
 /// order — the build-pool submission order and the unit a trace bundle
 /// persists. Also fills `cfg_of`: for each cell, the index of its config
@@ -57,20 +75,44 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
   report.spec_name = spec.name();
   report.axis_names = spec.axis_names();
 
+  TraceCollector* const tracer = options_.trace;
+  if (tracer != nullptr) tracer->NameThisThread("main");
+  TraceSpan sweep_span(tracer, "sweep", "sweep:" + report.spec_name);
+
+  // Pipeline metric handles; null when observability is off.
+  Counter* cells_simulated = nullptr;
+  Counter* build_waits = nullptr;
+  Counter* steals = nullptr;
+  HistogramMetric* cell_sim_us = nullptr;
+  HistogramMetric* build_wait_us = nullptr;
+  if (options_.metrics != nullptr) {
+    cells_simulated = &options_.metrics->counter("sweep.cells_simulated");
+    build_waits = &options_.metrics->counter("sweep.build_waits");
+    steals = &options_.metrics->counter("sweep.steals");
+    cell_sim_us = &options_.metrics->histogram("sweep.cell_sim_us");
+    build_wait_us = &options_.metrics->histogram("sweep.build_wait_us");
+  }
+
   std::vector<Cell> cells = spec.Expand();
   report.cells.resize(cells.size());
 
-  TraceSetCache private_cache(factory_);
+  TraceSetCache private_cache(factory_, options_.metrics);
   TraceSetCache& cache = shared_cache_ ? *shared_cache_ : private_cache;
   const uint64_t builds_before = cache.stats().builds;
 
   std::vector<size_t> cfg_of;  // cell index -> distinct-config index
   std::vector<harness::TraceSetConfig> distinct =
       DistinctConfigs(cells, &cfg_of);
+  std::vector<std::string> cfg_labels;
+  cfg_labels.reserve(distinct.size());
+  for (const harness::TraceSetConfig& c : distinct) {
+    cfg_labels.push_back(ConfigLabel(c));
+  }
 
   // Trace bundle: try to serve the whole build sequence from disk.
   if (!options_.trace_bundle.empty() && !cells.empty()) {
     const auto load_t0 = std::chrono::steady_clock::now();
+    TraceSpan load_span(tracer, "io", "bundle.load");
     std::vector<harness::TraceSet> loaded;
     if (LoadTraceBundle(options_.trace_bundle, *factory_, distinct,
                         &loaded)) {
@@ -79,6 +121,8 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
     } else {
       report.bundle = "cold";
     }
+    load_span.set_args("{\"result\": \"" + report.bundle + "\"}");
+    load_span.End();
     report.load_wall_seconds = SecondsSince(load_t0);
   }
 
@@ -114,6 +158,11 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
   };
 
   auto build_one = [&](size_t j) {
+    if (tracer != nullptr) tracer->NameThisThread("builder");
+    // One span per distinct config regardless of thread count or cache
+    // temperature (a warm Get is a near-instant hit), so the span SET is
+    // deterministic even though durations are not.
+    TraceSpan build_span(tracer, "build", "build:" + cfg_labels[j]);
     try {
       const harness::TraceSet* ts = &cache.Get(distinct[j]);
       std::lock_guard<std::mutex> lock(build_mu);
@@ -129,29 +178,63 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
   };
 
   std::atomic<size_t> next{0};
-  auto worker = [&]() {
+  auto worker = [&](uint32_t wid) {
+    if (tracer != nullptr) {
+      tracer->NameThisThread("sim-worker-" + std::to_string(wid));
+    }
+    uint64_t claimed = 0;
     while (true) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= cells.size()) break;
+      ++claimed;
       const size_t j = cfg_of[i];
       {
         std::unique_lock<std::mutex> lock(build_mu);
-        build_cv.wait(lock, [&] { return built_done[j] != 0; });
+        if (built_done[j] == 0) {
+          // Contention-dependent: whether a worker waits here depends on
+          // scheduling, so the span is skipped under a deterministic
+          // tracer (its presence would vary run to run).
+          TraceSpan wait_span;
+          if (tracer != nullptr && !tracer->deterministic()) {
+            wait_span = TraceSpan(tracer, "sweep", "wait:" + cfg_labels[j]);
+          }
+          const auto w0 = std::chrono::steady_clock::now();
+          build_cv.wait(lock, [&] { return built_done[j] != 0; });
+          if (build_waits != nullptr) {
+            build_waits->Add(1);
+            build_wait_us->Record(MicrosSince(w0));
+          }
+        }
         if (built_sets[j] == nullptr) continue;  // build failed; drain
       }
       try {
         const auto t0 = std::chrono::steady_clock::now();
+        // Cell spans ARE deterministic: every cell replays exactly once
+        // at its canonical index, whatever claims it.
+        TraceSpan cell_span(tracer, "sim", "cell:" + std::to_string(i),
+                            "{\"cfg\": \"" + cfg_labels[j] + "\"}");
         CellResult& out = report.cells[i];
         out.cell = cells[i];
         out.trace_total_instructions = built_sets[j]->total_instructions;
         out.trace_total_events = built_sets[j]->total_events;
-        out.result =
-            harness::RunExperiment(cells[i].exp, *built_sets[j], &out.hw);
+        out.result = harness::RunExperiment(cells[i].exp, *built_sets[j],
+                                            &out.hw, options_.metrics);
+        cell_span.End();
         out.sim_wall_seconds = SecondsSince(t0);
+        if (cells_simulated != nullptr) {
+          cells_simulated->Add(1);
+          cell_sim_us->Record(MicrosSince(t0));
+        }
       } catch (...) {
         record_error();
         // Keep draining the counter so siblings can finish cleanly.
       }
+    }
+    // "Steals": cells this worker claimed beyond the even share — how
+    // much the atomic-counter claiming rebalanced versus a static split.
+    if (steals != nullptr && threads > 0) {
+      const uint64_t share = cells.size() / threads;
+      if (claimed > share) steals->Add(claimed - share);
     }
   };
 
@@ -161,7 +244,7 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
     if (build_threads > distinct.size()) {
       build_threads = static_cast<uint32_t>(distinct.size());
     }
-    ThreadPool build_pool(build_threads);
+    ThreadPool build_pool(build_threads, options_.metrics, "build_pool");
     std::vector<std::future<void>> build_futures;
     build_futures.reserve(distinct.size());
     for (size_t j = 0; j < distinct.size(); ++j) {
@@ -171,7 +254,9 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
     }
     std::vector<std::thread> pool;
     pool.reserve(threads);
-    for (uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (uint32_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&worker, t] { worker(t); });
+    }
     // build_one traps its own exceptions, so get() only synchronizes.
     for (std::future<void>& f : build_futures) f.get();
     report.build_wall_seconds = SecondsSince(sim_t0);
@@ -183,6 +268,7 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
   // A cold run with a bundle path persists what it just built (every
   // Get() below is a cache hit; nothing rebuilds).
   if (report.bundle == "cold" && !first_error) {
+    TraceSpan save_span(tracer, "io", "bundle.save");
     std::vector<const harness::TraceSet*> sets;
     sets.reserve(distinct.size());
     for (const harness::TraceSetConfig& c : distinct) {
@@ -194,6 +280,12 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
     }
   }
   report.wall_seconds = SecondsSince(run_t0);
+  sweep_span.End();
+
+  if (options_.metrics != nullptr) {
+    report.metrics = options_.metrics->Snapshot();
+    report.has_metrics = true;
+  }
 
   if (first_error) std::rethrow_exception(first_error);
   return report;

@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace_span.h"
 #include "coresim/cmp.h"
 #include "harness/experiment.h"
 #include "sweep/spec.h"
@@ -48,6 +50,15 @@ struct RunnerOptions {
   /// canonical build sequence (warm: no generation at all) and rewrites
   /// it after a cold build. Empty = no persistence.
   std::string trace_bundle;
+  /// Optional observability sinks (docs/OBSERVABILITY.md). `metrics`
+  /// collects `sweep.*` counters/histograms plus the build pool's
+  /// `build_pool.*` and the replay engine's `replay.*` families; it is
+  /// cumulative — a registry shared across Run() calls keeps counting.
+  /// `trace` records the pipeline's span timeline (sweep/build/cell/io
+  /// categories). Both null by default: instrumentation is off and the
+  /// runner behaves exactly as before.
+  MetricsRegistry* metrics = nullptr;
+  TraceCollector* trace = nullptr;
 };
 
 /// One executed cell: the cell itself plus everything measured.
@@ -77,6 +88,11 @@ struct SweepReport {
   /// (built fresh, bundle written), "warm" (all sets loaded from disk).
   std::string bundle = "off";
   std::vector<CellResult> cells;
+  /// Registry state at the end of Run(), when RunnerOptions::metrics was
+  /// set (cumulative if the registry is shared across runs). Sinks use
+  /// it for the cache/pool health footer; empty when off.
+  MetricsSnapshot metrics;
+  bool has_metrics = false;
 
   double cells_per_second() const {
     return wall_seconds > 0.0

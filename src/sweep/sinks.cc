@@ -4,7 +4,12 @@
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <vector>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
 
 #include "common/table_printer.h"
 #include "coresim/breakdown.h"
@@ -135,6 +140,34 @@ void EmitCellMetrics(const CellResult& cr, std::ostream& os, int indent) {
   o.Close();
 }
 
+/// Execution-environment fingerprint for perf summaries: enough to tell
+/// two BENCH trajectory points apart when they came from different
+/// machines or build flavors. Build knobs arrive as compile definitions
+/// (src/sweep/CMakeLists.txt); everything degrades to "unknown".
+void EmitEnvironment(std::ostream& os, int indent) {
+  std::string hostname = "unknown";
+#ifdef __unix__
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+    hostname = buf;
+  }
+#endif
+  JsonObj o(os, indent);
+  o.Str("hostname", hostname);
+  o.Int("hardware_concurrency", std::thread::hardware_concurrency());
+#ifdef STAGEDCMP_BUILD_TYPE
+  o.Str("build_type", STAGEDCMP_BUILD_TYPE);
+#else
+  o.Str("build_type", "unknown");
+#endif
+#if defined(STAGEDCMP_NATIVE_BUILD) && STAGEDCMP_NATIVE_BUILD
+  o.Bool("native", true);
+#else
+  o.Bool("native", false);
+#endif
+  o.Close();
+}
+
 }  // namespace
 
 void TableSink::Emit(const SweepReport& report, std::ostream& os) const {
@@ -193,6 +226,32 @@ void TableSink::Emit(const SweepReport& report, std::ostream& os) const {
                   report.threads, report.build_wall_seconds,
                   report.wall_seconds, report.cells_per_second());
     os << buf;
+    // Cache/pool health, present when the run collected metrics. Lives
+    // with the timing footer: like the timings it describes this
+    // execution, not the spec.
+    if (report.has_metrics) {
+      const MetricsSnapshot& m = report.metrics;
+      const MetricsSnapshot::GaugeValue* q =
+          m.FindGauge("build_pool.queue_depth");
+      std::snprintf(
+          buf, sizeof(buf),
+          "cache %llu hits / %llu misses / %llu rendezvous / %llu evicted"
+          " | build pool %llu tasks (peak queue %lld)"
+          " | replay %llu events\n",
+          static_cast<unsigned long long>(m.CounterOr("trace_cache.hits", 0)),
+          static_cast<unsigned long long>(
+              m.CounterOr("trace_cache.misses", 0)),
+          static_cast<unsigned long long>(
+              m.CounterOr("trace_cache.rendezvous_waits", 0)),
+          static_cast<unsigned long long>(
+              m.CounterOr("trace_cache.evictions", 0)),
+          static_cast<unsigned long long>(
+              m.CounterOr("build_pool.tasks_executed", 0)),
+          static_cast<long long>(q != nullptr ? q->peak : 0),
+          static_cast<unsigned long long>(
+              m.CounterOr("replay.events_replayed", 0)));
+      os << buf;
+    }
   }
 }
 
@@ -344,8 +403,15 @@ void CsvSink::Emit(const SweepReport& report, std::ostream& os) const {
 void EmitPerfSummary(const SweepReport& report, std::ostream& os,
                      const std::vector<PerfSection>& extras) {
   JsonObj o(os, 0);
+  // v2: added schema_version + environment (v1 files have neither).
+  o.Int("schema_version", 2);
   o.Str("bench", "sweep");
   o.Str("spec", report.spec_name);
+  {
+    std::ostringstream env;
+    EmitEnvironment(env, 2);
+    o.Field("environment", env.str());
+  }
   o.Int("threads", report.threads);
   o.Int("cells", report.cells.size());
   o.Str("trace_bundle", report.bundle);

@@ -16,6 +16,14 @@
 //     heap placement (see tests/test_determinism.cc).
 //   * Returned references stay valid for the cache's lifetime (entries
 //     are never evicted behind a caller's back; see EvictAll).
+//
+// Observability (optional): constructed with a MetricsRegistry the cache
+// maintains `trace_cache.*` counters (lookups, hits, misses, inserts,
+// evictions, rendezvous_waits) and histograms (build_us,
+// rendezvous_wait_us). Invariants, checked by tests and scripts/check.sh:
+// lookups == hits + misses; misses == builds-by-Get; a caller that blocks
+// on another thread's in-flight build counts as a hit AND a
+// rendezvous_wait. The legacy stats() accessor is unchanged.
 #ifndef STAGEDCMP_SWEEP_TRACE_CACHE_H_
 #define STAGEDCMP_SWEEP_TRACE_CACHE_H_
 
@@ -27,14 +35,15 @@
 #include <shared_mutex>
 #include <tuple>
 
+#include "common/metrics.h"
 #include "harness/experiment.h"
 
 namespace stagedcmp::sweep {
 
 class TraceSetCache {
  public:
-  explicit TraceSetCache(const harness::WorkloadFactory* factory)
-      : factory_(factory) {}
+  explicit TraceSetCache(const harness::WorkloadFactory* factory,
+                         MetricsRegistry* metrics = nullptr);
 
   TraceSetCache(const TraceSetCache&) = delete;
   TraceSetCache& operator=(const TraceSetCache&) = delete;
@@ -71,9 +80,13 @@ class TraceSetCache {
  private:
   /// One cache slot. The once_flag serializes same-config builders while
   /// the map's shared_mutex only guards slot lookup/creation — so
-  /// different entries build fully in parallel.
+  /// different entries build fully in parallel. `ready` flips true
+  /// (release) after `set` is published inside the once-callable, so an
+  /// acquire load distinguishes an already-served entry from one a
+  /// caller must build or rendezvous on.
   struct Entry {
     std::once_flag once;
+    std::atomic<bool> ready{false};
     std::unique_ptr<harness::TraceSet> set;
   };
 
@@ -85,6 +98,16 @@ class TraceSetCache {
   std::map<Key, std::shared_ptr<Entry>> cache_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> builds_{0};
+
+  // Observability handles; all null when constructed without a registry.
+  Counter* lookups_ = nullptr;
+  Counter* hit_ctr_ = nullptr;
+  Counter* miss_ctr_ = nullptr;
+  Counter* insert_ctr_ = nullptr;
+  Counter* evict_ctr_ = nullptr;
+  Counter* rendezvous_ctr_ = nullptr;
+  HistogramMetric* build_us_ = nullptr;
+  HistogramMetric* rendezvous_wait_us_ = nullptr;
 };
 
 }  // namespace stagedcmp::sweep

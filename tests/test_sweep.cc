@@ -427,6 +427,110 @@ TEST(TraceBundle, WarmSweepReplaysBitIdenticalToColdSweep) {
   std::remove(path.c_str());
 }
 
+TEST(Observability, MetricsCrossCheckAndResultsUnperturbed) {
+  // Two runs of the same spec over separate caches: one instrumented,
+  // one not. The metrics must cross-check against the report, and the
+  // golden serialized output must not notice observability at all.
+  harness::WorkloadFactory factory;
+  auto golden_json = [](const sweep::SweepReport& r) {
+    std::ostringstream os;
+    sweep::JsonSink(/*include_timing=*/false, /*golden=*/true).Emit(r, os);
+    return os.str();
+  };
+
+  MetricsRegistry reg;
+  sweep::TraceSetCache cache(&factory, &reg);
+  sweep::RunnerOptions options;
+  options.threads = 4;
+  options.metrics = &reg;
+  const sweep::SweepReport instrumented =
+      sweep::SweepRunner(&factory, options, &cache).Run(TinySpec());
+
+  sweep::TraceSetCache plain_cache(&factory);
+  const sweep::SweepReport plain =
+      sweep::SweepRunner(&factory, sweep::RunnerOptions{4}, &plain_cache)
+          .Run(TinySpec());
+  EXPECT_FALSE(plain.has_metrics);
+  EXPECT_EQ(golden_json(instrumented), golden_json(plain));
+
+  ASSERT_TRUE(instrumented.has_metrics);
+  const MetricsSnapshot& m = instrumented.metrics;
+  // Replay counters agree with the report's own accounting.
+  EXPECT_EQ(m.CounterOr("replay.events_replayed"),
+            instrumented.events_replayed());
+  EXPECT_EQ(m.CounterOr("replay.runs"), 8u);
+  EXPECT_EQ(m.CounterOr("sweep.cells_simulated"), 8u);
+  // Cache invariants: every lookup is a hit or a miss; the tiny grid has
+  // two distinct configs, each built exactly once.
+  EXPECT_EQ(m.CounterOr("trace_cache.lookups"),
+            m.CounterOr("trace_cache.hits") +
+                m.CounterOr("trace_cache.misses"));
+  EXPECT_EQ(m.CounterOr("trace_cache.misses"), 2u);
+  // The build pool executed one task per distinct config and drained.
+  EXPECT_EQ(m.CounterOr("build_pool.tasks_executed"), 2u);
+  EXPECT_EQ(m.CounterOr("build_pool.tasks_submitted"),
+            m.CounterOr("build_pool.tasks_executed") +
+                m.CounterOr("build_pool.tasks_discarded"));
+}
+
+TEST(Observability, RunExperimentMetricsNeverChangeResults) {
+  harness::WorkloadFactory factory;
+  harness::TraceSetConfig cfg;
+  cfg.workload = harness::WorkloadKind::kOltp;
+  cfg.clients = 2;
+  cfg.requests_per_client = 2;
+  cfg.seed = 3;
+  const harness::TraceSet traces = factory.Build(cfg);
+  harness::ExperimentConfig exp;
+  exp.cores = 2;
+  exp.l2_bytes = 1ull << 20;
+  exp.measure_instructions = 200'000;
+  exp.warmup_instructions = 50'000;
+
+  const coresim::SimResult bare = harness::RunExperiment(exp, traces);
+  MetricsRegistry reg;
+  const coresim::SimResult observed =
+      harness::RunExperiment(exp, traces, nullptr, &reg);
+  ExpectSameResult(bare, observed, 0);
+
+  const MetricsSnapshot m = reg.Snapshot();
+  EXPECT_EQ(m.CounterOr("replay.runs"), 1u);
+  EXPECT_EQ(m.CounterOr("replay.events_replayed"), observed.events_replayed);
+  EXPECT_EQ(m.CounterOr("replay.instructions"), observed.instructions);
+  const int l1 = static_cast<int>(memsim::AccessClass::kL1Hit);
+  EXPECT_EQ(m.CounterOr("replay.data_l1_hits"),
+            observed.mem.data_count[l1]);
+}
+
+TEST(Observability, DeterministicTraceByteStableAcrossThreadCounts) {
+  // Same shared cache (same trace instances), deterministic collectors:
+  // the flushed timeline must be byte-identical whatever the thread
+  // count — the cold first run included, because the span SET (sweep,
+  // one build per distinct config, one cell span per cell) is invariant.
+  harness::WorkloadFactory factory;
+  sweep::TraceSetCache cache(&factory);
+  auto run_traced = [&](uint32_t threads) {
+    TraceCollector tc(/*deterministic=*/true);
+    sweep::RunnerOptions options;
+    options.threads = threads;
+    options.trace = &tc;
+    sweep::SweepRunner(&factory, options, &cache).Run(TinySpec());
+    std::ostringstream os;
+    tc.WriteJson(os);
+    return os.str();
+  };
+  const std::string cold = run_traced(1);
+  const std::string warm1 = run_traced(1);
+  const std::string warm8 = run_traced(8);
+  EXPECT_EQ(cold, warm1);
+  EXPECT_EQ(warm1, warm8);
+  // Spot-check the taxonomy landed: the sweep span, a build span per
+  // distinct config, a cell span per cell.
+  EXPECT_NE(cold.find("\"sweep:tiny\""), std::string::npos);
+  EXPECT_NE(cold.find("\"build:OLTP/c2/r4/s5/e0\""), std::string::npos);
+  EXPECT_NE(cold.find("\"cell:7\""), std::string::npos);
+}
+
 TEST(BuiltinSpecs, AllNamesExpandToTheExpectedGrids) {
   EXPECT_TRUE(sweep::HasBuiltinSpec("fig7"));
   EXPECT_FALSE(sweep::HasBuiltinSpec("fig99"));

@@ -162,5 +162,71 @@ TEST(ThreadPool, ManyProducersStress) {
   EXPECT_EQ(sum.load(), expect);
 }
 
+TEST(ThreadPoolMetrics, CountsTasksAndDrainsQueueGauge) {
+  MetricsRegistry reg;
+  {
+    ThreadPool pool(2, &reg, "p");
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 10; ++i) futures.push_back(pool.Submit([] {}));
+    for (auto& f : futures) f.get();
+  }  // drain shutdown
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterOr("p.tasks_submitted"), 10u);
+  EXPECT_EQ(snap.CounterOr("p.tasks_executed"), 10u);
+  EXPECT_EQ(snap.CounterOr("p.tasks_discarded"), 0u);
+  const MetricsSnapshot::GaugeValue* q = snap.FindGauge("p.queue_depth");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->value, 0);  // no orphaned gauge state after drain
+  // Every executed task recorded wait and run samples.
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  for (const auto& h : snap.histograms) EXPECT_EQ(h.stats.count, 10u);
+}
+
+TEST(ThreadPoolMetrics, DiscardAccountsAbandonedTasksAndZeroesGauge) {
+  MetricsRegistry reg;
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<bool> started{false};
+
+  ThreadPool pool(1, &reg, "p");
+  std::future<void> in_flight = pool.Submit([&, opened] {
+    started = true;
+    opened.wait();
+  });
+  while (!started) std::this_thread::yield();
+  std::vector<std::future<void>> queued;
+  for (int i = 0; i < 4; ++i) queued.push_back(pool.Submit([] {}));
+
+  std::thread opener([&] {
+    queued.front().wait();  // ready (broken) once the queue is discarded
+    gate.set_value();
+  });
+  pool.Shutdown(/*drain=*/false);
+  opener.join();
+  in_flight.get();
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  const uint64_t submitted = snap.CounterOr("p.tasks_submitted");
+  const uint64_t executed = snap.CounterOr("p.tasks_executed");
+  const uint64_t discarded = snap.CounterOr("p.tasks_discarded");
+  EXPECT_EQ(submitted, 5u);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(discarded, 4u);
+  EXPECT_EQ(submitted, executed + discarded);  // nothing lost or doubled
+  const MetricsSnapshot::GaugeValue* q = snap.FindGauge("p.queue_depth");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->value, 0);  // discard subtracts the abandoned tasks
+  EXPECT_GE(q->peak, 4);   // the backlog was visible while it existed
+}
+
+TEST(ThreadPoolMetrics, OffByDefaultRegistersNothing) {
+  MetricsRegistry reg;
+  {
+    ThreadPool pool(2);  // no registry: the pool must not touch ours
+    pool.Submit([] {}).get();
+  }
+  EXPECT_TRUE(reg.Snapshot().empty());
+}
+
 }  // namespace
 }  // namespace stagedcmp

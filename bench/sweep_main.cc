@@ -267,6 +267,10 @@ int main(int argc, char** argv) {
   MetricsRegistry registry;
   MetricsRegistry* const metrics =
       (!metrics_path.empty() || !perf_path.empty()) ? &registry : nullptr;
+  // Cold builds fold traffic-shaper and YCSB counters (traffic.*,
+  // ycsb.*) into the same registry; warm (bundle-served) runs build
+  // nothing, so those families are absent there by design.
+  factory.metrics = metrics;
   std::unique_ptr<TraceCollector> tracer;
   if (!trace_path.empty()) {
     tracer = std::make_unique<TraceCollector>(deterministic);

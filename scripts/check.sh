@@ -187,6 +187,63 @@ EOF
     --out build/smokesmp_snoop.json
   diff -u build/smokesmp_directory.json build/smokesmp_snoop.json
 
+  echo "==> sweep skew grid: cold-determinism matrix (--threads 1/2/8)"
+  # The skew grid exercises the traffic subsystem end to end: Zipfian key
+  # popularity over OLTP and YCSB, staged and unstaged engines. Like the
+  # smoke matrix every run is cold (each trace set regenerated through
+  # the parallel build pool), so the byte-diffs pin that shaped builds
+  # are pure functions of their config too. The last run writes the
+  # bundle for the warm re-diff and the traffic/YCSB counter check.
+  rm -f build/skew.traces
+  for t in 1 2; do
+    ./build/bench/sweep_main --spec skew --threads "$t" --golden \
+      --out "build/sweep_skew_golden_t$t.json"
+    diff -u tests/golden/sweep_skew.json "build/sweep_skew_golden_t$t.json"
+  done
+  ./build/bench/sweep_main --spec skew --threads 8 --golden \
+    --trace-bundle build/skew.traces \
+    --metrics-out build/skew_metrics.json \
+    --out build/sweep_skew_golden_t8.json
+  diff -u tests/golden/sweep_skew.json build/sweep_skew_golden_t8.json
+  # Warm replay from the bundle reproduces the same golden bytes: the
+  # traffic knobs round-trip through the v2 bundle header.
+  ./build/bench/sweep_main --spec skew --threads 8 --golden \
+    --trace-bundle build/skew.traces \
+    --out build/sweep_skew_warm.json
+  diff -u tests/golden/sweep_skew.json build/sweep_skew_warm.json
+  # Shaper/driver observability: a COLD run must surface the traffic.*
+  # and ycsb.* counter families (warm runs build nothing, so they are
+  # absent there by design).
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+c = json.load(open("build/skew_metrics.json"))["counters"]
+assert c.get("traffic.keys_generated", 0) > 0, "no traffic.keys_generated"
+assert c.get("traffic.hot_set_hits", 0) > 0, "no traffic.hot_set_hits"
+assert c.get("ycsb.requests", 0) > 0, "no ycsb.requests"
+assert c.get("ycsb.ops_read", 0) > 0, "no ycsb.ops_read"
+print("    traffic/ycsb counters OK "
+      f"(keys={c['traffic.keys_generated']}, "
+      f"ycsb_requests={c['ycsb.requests']})")
+EOF
+  else
+    echo "    python3 not found; skipping traffic counter cross-checks"
+  fi
+
+  echo "==> sweep tenants grid: cold golden + warm bundle round-trip"
+  # Multi-tenant cells carry the tenancy boundary through the bundle and
+  # emit per-tenant attribution; cold and warm runs must agree on the
+  # golden bytes.
+  rm -f build/tenants.traces
+  ./build/bench/sweep_main --spec tenants --threads 4 --golden \
+    --trace-bundle build/tenants.traces \
+    --out build/sweep_tenants_golden.json
+  diff -u tests/golden/sweep_tenants.json build/sweep_tenants_golden.json
+  ./build/bench/sweep_main --spec tenants --threads 4 --golden \
+    --trace-bundle build/tenants.traces \
+    --out build/sweep_tenants_warm.json
+  diff -u tests/golden/sweep_tenants.json build/sweep_tenants_warm.json
+
   echo "==> perf gates: warm replay + cold build, 20% regression budget"
   # Each gate compares absolute cells/sec against a baseline committed
   # from the CI container; on a substantially slower machine export

@@ -82,6 +82,37 @@ struct SimConfig {
   /// event, so the hot loop is untouched and the hook is zero-cost when
   /// off. Never changes SimResult.
   MetricsRegistry* metrics = nullptr;
+  /// Multi-tenant attribution boundary: when > 0, clients
+  /// [0, tenant_a_clients) belong to tenant 0 and the rest to tenant 1,
+  /// and SimResult::tenants is populated. Attribution is pure counting —
+  /// it never changes timing, so shared aggregate results stay
+  /// bit-identical to a run without the boundary.
+  uint32_t tenant_a_clients = 0;
+};
+
+/// Per-tenant share of a multi-tenant run (SimConfig::tenant_a_clients).
+struct TenantStats {
+  uint64_t instructions = 0;
+  uint64_t requests = 0;
+  uint64_t data_count[static_cast<int>(memsim::AccessClass::kCount)] = {};
+  uint64_t instr_count[static_cast<int>(memsim::AccessClass::kCount)] = {};
+
+  uint64_t data_accesses() const {
+    uint64_t sum = 0;
+    for (uint64_t c : data_count) sum += c;
+    return sum;
+  }
+  /// Fraction of this tenant's data accesses resolved past the L2
+  /// (off-chip or via coherence) — the interference-facing miss rate:
+  /// co-running a neighbor can only push it up.
+  double data_offchip_rate() const {
+    const uint64_t total = data_accesses();
+    const uint64_t past =
+        data_count[static_cast<int>(memsim::AccessClass::kOffChip)] +
+        data_count[static_cast<int>(memsim::AccessClass::kCoherence)];
+    return total ? static_cast<double>(past) / static_cast<double>(total)
+                 : 0.0;
+  }
 };
 
 struct SimResult {
@@ -97,6 +128,11 @@ struct SimResult {
   double l1i_hit_rate = 0.0;
   double l2_hit_rate = 0.0;
   memsim::HierarchyStats mem;    ///< access-class counters snapshot
+  /// Multi-tenant attribution (see SimConfig::tenant_a_clients):
+  /// num_tenants is 0 for single-tenant runs, else 2 and tenants[0..1]
+  /// hold each tenant's measured share.
+  uint32_t num_tenants = 0;
+  TenantStats tenants[2];
 
   /// Aggregate user-IPC: committed instructions / elapsed cycles — the
   /// paper's throughput metric (proportional to system throughput).
@@ -148,6 +184,16 @@ inline void RecordReplayMetrics(MetricsRegistry* registry,
       .Add(r.mem.l1_to_l1_transfers);
   registry->counter("replay.invalidations").Add(r.mem.invalidations);
   registry->counter("replay.writebacks").Add(r.mem.writebacks);
+  for (uint32_t t = 0; t < r.num_tenants; ++t) {
+    const TenantStats& ts = r.tenants[t];
+    const std::string prefix = "replay.tenant" + std::to_string(t);
+    registry->counter(prefix + ".instructions").Add(ts.instructions);
+    registry->counter(prefix + ".requests").Add(ts.requests);
+    registry->counter(prefix + ".data_accesses").Add(ts.data_accesses());
+    registry->counter(prefix + ".data_offchip")
+        .Add(ts.data_count[static_cast<int>(AccessClass::kOffChip)] +
+             ts.data_count[static_cast<int>(AccessClass::kCoherence)]);
+  }
 }
 
 /// Runs a set of client traces on a CMP over the given hierarchy.

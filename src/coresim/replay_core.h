@@ -39,7 +39,10 @@ class ReplayEngine {
  public:
   ReplayEngine(const SimConfig& config, H* hierarchy,
                const std::vector<const trace::ClientTrace*>& clients)
-      : config_(config), hierarchy_(hierarchy), clients_(clients) {
+      : config_(config),
+        hierarchy_(hierarchy),
+        clients_(clients),
+        tenants_on_(config.tenant_a_clients > 0) {
     assert(hierarchy_ != nullptr);
     cores_.resize(config_.num_cores);
     for (Core& c : cores_) c.ctx.resize(config_.core.contexts);
@@ -96,6 +99,10 @@ class ReplayEngine {
           cores_[i].committed = 0.0;
           measure_start[i] = cores_[i].now;
         }
+        for (int t = 0; t < 2; ++t) {
+          tenant_[t] = TenantStats();
+          tenant_committed_[t] = 0.0;
+        }
       }
       if (config_.max_instructions > 0 && warmed &&
           total_committed_ >= static_cast<double>(config_.max_instructions)) {
@@ -134,6 +141,14 @@ class ReplayEngine {
     out.l1i_hit_rate = hierarchy_->L1IHitRate();
     out.l2_hit_rate = hierarchy_->L2HitRate();
     out.mem = hierarchy_->stats();
+    if (tenants_on_) {
+      out.num_tenants = 2;
+      for (int t = 0; t < 2; ++t) {
+        out.tenants[t] = tenant_[t];
+        out.tenants[t].instructions =
+            static_cast<uint64_t>(tenant_committed_[t]);
+      }
+    }
     // Observability hook fires once per run, after the hot loop — see
     // SimConfig::metrics.
     if (config_.metrics != nullptr) RecordReplayMetrics(config_.metrics, out);
@@ -204,6 +219,9 @@ class ReplayEngine {
           hierarchy_->AccessInstr(core_id, line * line_bytes,
                                   static_cast<uint64_t>(core.now));
       ctx.next_ifetch_line = line + 1;
+      if (tenants_on_ && measuring_) {
+        ++tenant_[TenantOf(ctx)].instr_count[static_cast<int>(r.cls)];
+      }
       if (r.latency > config_.core.ifetch_hide) {
         const double eff = static_cast<double>(r.latency) -
                            static_cast<double>(config_.core.ifetch_hide);
@@ -273,6 +291,7 @@ class ReplayEngine {
           if (measuring_) {
             response_sum_ += core.now - ctx.request_start;
             ++responses_;
+            if (tenants_on_) ++tenant_[TenantOf(ctx)].requests;
           }
           ctx.request_start = core.now;
           continue;
@@ -293,6 +312,9 @@ class ReplayEngine {
 
     memsim::AccessResult r = hierarchy_->AccessData(
         core_id, addr, is_write, static_cast<uint64_t>(core.now));
+    if (tenants_on_ && measuring_) {
+      ++tenant_[TenantOf(ctx)].data_count[static_cast<int>(r.cls)];
+    }
     if (r.cls == AccessClass::kL1Hit) return;  // covered by the pipeline
     // Stores retire through the store buffer and do not stall the pipeline
     // (they still update cache and coherence state above).
@@ -416,6 +438,7 @@ class ReplayEngine {
       c.committed += exec;
       c.instr_since_miss += exec;
       executed_total += exec;
+      if (tenants_on_ && measuring_) tenant_committed_[TenantOf(c)] += exec;
     }
     core.now += dt;
     if (measuring_) {
@@ -436,6 +459,13 @@ class ReplayEngine {
     return true;
   }
 
+  /// Tenant of the context's *currently replaying* client — contexts can
+  /// multiprogram clients from both tenants, so attribution keys off
+  /// cur_client, not the context.
+  uint32_t TenantOf(const Context& ctx) const {
+    return ctx.client_ids[ctx.cur_client] < config_.tenant_a_clients ? 0u : 1u;
+  }
+
   SimConfig config_;
   H* hierarchy_;
   // Owned copy (a few pointers per client, once per simulation): storing
@@ -448,6 +478,12 @@ class ReplayEngine {
   uint64_t responses_ = 0;
   uint64_t events_replayed_ = 0;
   bool measuring_ = true;
+  // Multi-tenant attribution (SimConfig::tenant_a_clients): counts only,
+  // never timing — a tenant-split run must stay bit-identical in its
+  // aggregate results to the same run without the boundary.
+  bool tenants_on_ = false;
+  TenantStats tenant_[2];
+  double tenant_committed_[2] = {0.0, 0.0};
 };
 
 }  // namespace stagedcmp::coresim

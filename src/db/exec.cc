@@ -241,8 +241,11 @@ void HashJoinOp::BuildTable(ExecContext* ctx) {
   std::vector<const uint8_t*> staged;
   while (const uint8_t* tuple = build_->Next(ctx)) {
     if (t != nullptr) t->EnterRegion(build_region_);
+    // Line-aligned so the number of cache lines a build row spans — and
+    // therefore the trace's event skeleton — is a function of the tuple
+    // width alone, not of where the arena block landed in the heap.
     uint8_t* copy = static_cast<uint8_t*>(
-        ctx->temp->Allocate(bs.tuple_size(), 8));
+        ctx->temp->Allocate(bs.tuple_size(), 64));
     std::memcpy(copy, tuple, bs.tuple_size());
     if (t != nullptr) {
       t->Write(copy, bs.tuple_size(), CostModel::kTupleCopyPerLine);
@@ -368,7 +371,7 @@ void NlJoinOp::Open(ExecContext* ctx) {
   while (const uint8_t* tuple = inner_->Next(ctx)) {
     if (t != nullptr) t->EnterRegion(region_);
     uint8_t* copy =
-        static_cast<uint8_t*>(ctx->temp->Allocate(is.tuple_size(), 8));
+        static_cast<uint8_t*>(ctx->temp->Allocate(is.tuple_size(), 64));
     std::memcpy(copy, tuple, is.tuple_size());
     if (t != nullptr) {
       t->Write(copy, is.tuple_size(), CostModel::kTupleCopyPerLine);

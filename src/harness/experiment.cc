@@ -8,7 +8,12 @@
 namespace stagedcmp::harness {
 
 const char* WorkloadName(WorkloadKind w) {
-  return w == WorkloadKind::kOltp ? "OLTP" : "DSS";
+  switch (w) {
+    case WorkloadKind::kOltp: return "OLTP";
+    case WorkloadKind::kDss: return "DSS";
+    case WorkloadKind::kYcsb: return "YCSB";
+  }
+  return "?";
 }
 
 TraceSet WorkloadFactory::Build(const TraceSetConfig& config) const {
@@ -16,7 +21,7 @@ TraceSet WorkloadFactory::Build(const TraceSetConfig& config) const {
   // Builds are pure functions of (config, scale knobs), so they can run
   // concurrently, and the same config always yields the same traces (up
   // to heap placement) regardless of what built before it.
-  WorkloadWorld world(tpcc_config, tpch_config);
+  WorkloadWorld world(tpcc_config, tpch_config, ycsb_config, metrics);
   return world.Build(config);
 }
 
@@ -74,6 +79,7 @@ coresim::SimResult RunExperiment(const ExperimentConfig& config,
   sc.max_instructions = config.saturated ? config.measure_instructions : 0;
   sc.warmup_instructions = config.saturated ? config.warmup_instructions : 0;
   sc.metrics = metrics;
+  sc.tenant_a_clients = traces.tenant_a_clients;
 
   if (hw != nullptr) {
     hw->l2_hit_cycles = hc.lat.l2_hit;

@@ -15,10 +15,12 @@
 #include "workload/database.h"
 #include "workload/tpcc.h"
 #include "workload/tpch.h"
+#include "workload/traffic.h"
+#include "workload/ycsb.h"
 
 namespace stagedcmp::harness {
 
-enum class WorkloadKind : uint8_t { kOltp, kDss };
+enum class WorkloadKind : uint8_t { kOltp, kDss, kYcsb };
 enum class LatencyMode : uint8_t { kRealistic, kFixed4 };
 enum class Topology : uint8_t { kCmpShared, kSmpPrivate };
 
@@ -30,9 +32,20 @@ enum class EngineMode : uint8_t { kVolcano, kStagedCohort, kStagedTuple };
 struct TraceSetConfig {
   WorkloadKind workload = WorkloadKind::kOltp;
   uint32_t clients = 16;
-  uint32_t requests_per_client = 4;  ///< txns (OLTP) or queries (DSS)
+  uint32_t requests_per_client = 4;  ///< txns (OLTP) or ops batches/queries
   uint64_t seed = 1;
   EngineMode engine = EngineMode::kVolcano;
+  /// Traffic shaping (key popularity + arrival shape), applied to every
+  /// client of every tenant. Defaults are byte-neutral: an unshaped
+  /// config records exactly the historical trace bytes.
+  workload::TrafficConfig traffic;
+  /// Multi-tenant cells: when tenant2_clients > 0, an additional
+  /// tenant2_clients clients of `tenant2_workload` (same
+  /// requests_per_client/engine/traffic knobs) are appended to the set,
+  /// recorded against a *separate* database instance, and the built
+  /// TraceSet carries the attribution boundary for the replay engine.
+  WorkloadKind tenant2_workload = WorkloadKind::kOltp;
+  uint32_t tenant2_clients = 0;
 };
 
 /// A set of per-client traces plus the database they were recorded against.
@@ -41,6 +54,9 @@ struct TraceSet {
   std::vector<trace::ClientTrace> traces;
   uint64_t total_instructions = 0;
   uint64_t total_events = 0;
+  /// Multi-tenant boundary: 0 for single-tenant sets; else traces
+  /// [0, tenant_a_clients) belong to tenant A and the rest to tenant B.
+  uint32_t tenant_a_clients = 0;
 
   /// Per-client trace pointers in client order. Cached: rebuilding the
   /// vector on every RunExperiment call was a measurable allocation when
@@ -89,6 +105,12 @@ class WorkloadFactory {
   /// them before the first Build; they must not change while builds run.
   workload::TpccConfig tpcc_config;
   workload::TpchConfig tpch_config;
+  workload::YcsbConfig ycsb_config;
+
+  /// Observability hook: when set, every Build folds its shaper/YCSB
+  /// counters into this registry (traffic.*, ycsb.*). Counting only —
+  /// recorded trace bytes are identical either way.
+  MetricsRegistry* metrics = nullptr;
 
   TraceSet Build(const TraceSetConfig& config) const;
 };

@@ -6,6 +6,11 @@
 // once-guarded shared databases whose state earlier builds advance, no
 // process-global code-region registry whose layout depends on first-touch
 // order.
+//
+// Multi-tenant builds load a second, fully separate database instance for
+// tenant B (even when both tenants run the same workload kind), so the
+// only sharing between tenants is the simulated hierarchy they later
+// contend on.
 #ifndef STAGEDCMP_HARNESS_WORLD_H_
 #define STAGEDCMP_HARNESS_WORLD_H_
 
@@ -20,8 +25,14 @@ namespace stagedcmp::harness {
 class WorkloadWorld {
  public:
   WorkloadWorld(const workload::TpccConfig& tpcc,
-                const workload::TpchConfig& tpch)
-      : regions_(&code_map_), tpcc_config_(tpcc), tpch_config_(tpch) {}
+                const workload::TpchConfig& tpch,
+                const workload::YcsbConfig& ycsb = {},
+                MetricsRegistry* metrics = nullptr)
+      : regions_(&code_map_),
+        tpcc_config_(tpcc),
+        tpch_config_(tpch),
+        ycsb_config_(ycsb),
+        metrics_(metrics) {}
 
   WorkloadWorld(const WorkloadWorld&) = delete;
   WorkloadWorld& operator=(const WorkloadWorld&) = delete;
@@ -40,17 +51,28 @@ class WorkloadWorld {
   const trace::CodeMap& code_map() const { return code_map_; }
 
   /// Lazily loaded, world-private databases (exposed for tests and
-  /// inspection; Build() loads only the side it needs).
-  workload::Database* oltp_db();
-  workload::Database* dss_db();
+  /// inspection; Build() loads only the sides it needs). Tenant-A view;
+  /// tenant B's instances are private to Build.
+  workload::Database* oltp_db() { return DbFor(WorkloadKind::kOltp, false); }
+  workload::Database* dss_db() { return DbFor(WorkloadKind::kDss, false); }
+  workload::Database* ycsb_db() { return DbFor(WorkloadKind::kYcsb, false); }
 
  private:
+  /// The lazily loaded database for (workload kind, tenant side).
+  workload::Database* DbFor(WorkloadKind kind, bool tenant_b);
+
+  /// Records one client's requests into `tracer`.
+  void BuildClient(const TraceSetConfig& config, WorkloadKind kind,
+                   bool tenant_b, uint32_t client, trace::Tracer* tracer);
+
   trace::CodeMap code_map_;
   trace::RegionSet regions_;
   workload::TpccConfig tpcc_config_;
   workload::TpchConfig tpch_config_;
-  std::unique_ptr<workload::Database> oltp_db_;
-  std::unique_ptr<workload::Database> dss_db_;
+  workload::YcsbConfig ycsb_config_;
+  MetricsRegistry* metrics_;
+  /// [tenant B?][workload kind] — tenant B always gets its own instance.
+  std::unique_ptr<workload::Database> dbs_[2][3];
 };
 
 }  // namespace stagedcmp::harness

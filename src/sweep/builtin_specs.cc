@@ -232,10 +232,136 @@ SweepSpec MakeFig8Smp() {
   return spec;
 }
 
+/// Smoke-scale trace config (the smoke grid's shape) for workload `w` —
+/// the traffic/tenant grids reuse it so their cold builds stay CI-cheap.
+harness::TraceSetConfig SmokeTrace(harness::WorkloadKind w) {
+  harness::TraceSetConfig tc;
+  tc.workload = w;
+  tc.clients = 4;
+  tc.requests_per_client = w == harness::WorkloadKind::kDss ? 1 : 8;
+  tc.seed = 7;
+  return tc;
+}
+
+/// Smoke-scale machine: small L2 so skew/interference effects register
+/// inside a short measurement window.
+void SmokeScaleExp(harness::ExperimentConfig& e) {
+  e.cores = 2;
+  e.l2_bytes = 4ull << 20;
+  e.saturated = true;
+  e.measure_instructions = 1'500'000;
+  e.warmup_instructions = 500'000;
+}
+
+SweepSpec MakeSkew() {
+  SweepSpec spec("skew",
+                 "key-popularity skew: {OLTP,YCSB} x Zipf theta "
+                 "{0,0.6,0.99} x {volcano,staged} x L2 {1,4MB}; OLTP runs "
+                 "volcano only (its driver has no staged path)");
+  SmokeScaleExp(spec.base_exp);
+  spec.AddAxis("workload",
+               {{"OLTP",
+                 [](Cell& c) {
+                   c.trace = SmokeTrace(harness::WorkloadKind::kOltp);
+                 }},
+                {"YCSB",
+                 [](Cell& c) {
+                   c.trace = SmokeTrace(harness::WorkloadKind::kYcsb);
+                 }}});
+  // Every theta value routes key selection through the Zipf shaper —
+  // theta 0 IS the uniform law — so the axis varies only the skew
+  // exponent, never the selection mechanism.
+  std::vector<AxisValue> thetas;
+  for (double th : {0.0, 0.6, 0.99}) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "t%.2f", th);
+    thetas.push_back({name, [th](Cell& c) {
+                        c.trace.traffic.key_dist =
+                            workload::KeyDist::kZipfian;
+                        c.trace.traffic.zipf_theta = th;
+                      }});
+  }
+  spec.AddAxis("theta", std::move(thetas));
+  spec.AddAxis(
+      "engine",
+      {{"volcano",
+        [](Cell& c) { c.trace.engine = harness::EngineMode::kVolcano; }},
+       {"staged", [](Cell& c) {
+          c.trace.engine = harness::EngineMode::kStagedCohort;
+        }}});
+  std::vector<AxisValue> sizes;
+  for (uint64_t mb : {1, 4}) {
+    sizes.push_back({std::to_string(mb) + "MB",
+                     [mb](Cell& c) { c.exp.l2_bytes = mb << 20; }});
+  }
+  spec.AddAxis("l2", std::move(sizes));
+  spec.AddFilter([](const Cell& c) {
+    return c.trace.workload != harness::WorkloadKind::kOltp ||
+           c.trace.engine == harness::EngineMode::kVolcano;
+  });
+  return spec;
+}
+
+SweepSpec MakeBurst() {
+  SweepSpec spec("burst",
+                 "arrival shaping: {OLTP,YCSB} x {steady,burst,think} — "
+                 "idle gaps recorded as kIdle-region compute events");
+  SmokeScaleExp(spec.base_exp);
+  spec.AddAxis("workload",
+               {{"OLTP",
+                 [](Cell& c) {
+                   c.trace = SmokeTrace(harness::WorkloadKind::kOltp);
+                 }},
+                {"YCSB",
+                 [](Cell& c) {
+                   c.trace = SmokeTrace(harness::WorkloadKind::kYcsb);
+                 }}});
+  spec.AddAxis(
+      "arrival",
+      {{"steady", [](Cell&) { /* historical back-to-back default */ }},
+       {"burst",
+        [](Cell& c) {
+          c.trace.traffic.arrival = workload::ArrivalShape::kOnOffBurst;
+        }},
+       {"think", [](Cell& c) {
+          c.trace.traffic.arrival = workload::ArrivalShape::kThinkTime;
+        }}});
+  return spec;
+}
+
+SweepSpec MakeTenants() {
+  SweepSpec spec("tenants",
+                 "multi-tenant interference: {oltp-alone, ycsb-alone, "
+                 "corun} x L2 {1,4MB} — co-run interleaves both tenants' "
+                 "clients on one hierarchy with per-tenant attribution");
+  SmokeScaleExp(spec.base_exp);
+  spec.AddAxis(
+      "mix",
+      {{"oltp",
+        [](Cell& c) { c.trace = SmokeTrace(harness::WorkloadKind::kOltp); }},
+       {"ycsb",
+        [](Cell& c) { c.trace = SmokeTrace(harness::WorkloadKind::kYcsb); }},
+       {"corun", [](Cell& c) {
+          // Tenant A: the OLTP smoke config; tenant B: the same number of
+          // YCSB clients against a separate database instance.
+          c.trace = SmokeTrace(harness::WorkloadKind::kOltp);
+          c.trace.tenant2_workload = harness::WorkloadKind::kYcsb;
+          c.trace.tenant2_clients = 4;
+        }}});
+  std::vector<AxisValue> sizes;
+  for (uint64_t mb : {1, 4}) {
+    sizes.push_back({std::to_string(mb) + "MB",
+                     [mb](Cell& c) { c.exp.l2_bytes = mb << 20; }});
+  }
+  spec.AddAxis("l2", std::move(sizes));
+  return spec;
+}
+
 }  // namespace
 
 std::vector<std::string> BuiltinSpecNames() {
-  return {"smoke", "smokesmp", "fig4", "fig6", "fig7", "fig8", "fig8smp"};
+  return {"smoke",   "smokesmp", "fig4", "fig6",  "fig7",
+          "fig8",    "fig8smp",  "skew", "burst", "tenants"};
 }
 
 bool HasBuiltinSpec(const std::string& name) {
@@ -253,6 +379,9 @@ SweepSpec BuiltinSpec(const std::string& name) {
   if (name == "fig7") return MakeFig7();
   if (name == "fig8") return MakeFig8();
   if (name == "fig8smp") return MakeFig8Smp();
+  if (name == "skew") return MakeSkew();
+  if (name == "burst") return MakeBurst();
+  if (name == "tenants") return MakeTenants();
   std::fprintf(stderr, "unknown builtin sweep spec '%s'\n", name.c_str());
   std::abort();
 }

@@ -39,6 +39,22 @@ std::string ConfigLabel(const harness::TraceSetConfig& c) {
   s += "/r" + std::to_string(c.requests_per_client);
   s += "/s" + std::to_string(c.seed);
   s += "/e" + std::to_string(static_cast<int>(c.engine));
+  // Traffic/tenancy suffixes appear only when non-default, so every
+  // pre-existing config keeps its historical label byte-for-byte.
+  if (c.traffic.shapes_keys()) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "/k%s:%g",
+                  workload::KeyDistName(c.traffic.key_dist),
+                  c.traffic.zipf_theta);
+    s += buf;
+  }
+  if (c.traffic.shapes_arrival()) {
+    s += std::string("/a") + workload::ArrivalShapeName(c.traffic.arrival);
+  }
+  if (c.tenant2_clients > 0) {
+    s += std::string("/t") + harness::WorkloadName(c.tenant2_workload) +
+         std::to_string(c.tenant2_clients);
+  }
   return s;
 }
 

@@ -94,6 +94,28 @@ void EmitCellConfig(const CellResult& cr, std::ostream& os, int indent) {
   o.Int("requests_per_client", tc.requests_per_client);
   o.Int("seed", tc.seed);
   o.Str("engine", EngineModeName(tc.engine));
+  // Traffic shaping and tenancy: emitted only when non-default, so the
+  // committed goldens of pre-existing specs keep their historical bytes.
+  const workload::TrafficConfig& tr = tc.traffic;
+  if (tr.shapes_keys()) {
+    o.Str("key_dist", workload::KeyDistName(tr.key_dist));
+    o.Num("zipf_theta", tr.zipf_theta);
+    if (tr.key_dist == workload::KeyDist::kHotRotate) {
+      o.Int("hot_rotate_period", tr.hot_rotate_period);
+    }
+  }
+  if (tr.shapes_arrival()) {
+    o.Str("arrival", workload::ArrivalShapeName(tr.arrival));
+    if (tr.arrival == workload::ArrivalShape::kOnOffBurst) {
+      o.Int("burst_on", tr.burst_on);
+      o.Int("burst_off", tr.burst_off);
+    }
+    o.Int("think_instructions", tr.think_instructions);
+  }
+  if (tc.tenant2_clients > 0) {
+    o.Str("tenant2_workload", harness::WorkloadName(tc.tenant2_workload));
+    o.Int("tenant2_clients", tc.tenant2_clients);
+  }
   o.Str("camp", coresim::CampName(ec.camp));
   o.Int("cores", ec.cores);
   o.Int("l2_bytes", ec.l2_bytes);
@@ -137,6 +159,24 @@ void EmitCellMetrics(const CellResult& cr, std::ostream& os, int indent) {
   o.Int("l1_to_l1_transfers", r.mem.l1_to_l1_transfers);
   o.Int("invalidations", r.mem.invalidations);
   o.Int("writebacks", r.mem.writebacks);
+  // Multi-tenant attribution, present only on cells that set a tenant
+  // boundary (SimConfig::tenant_a_clients).
+  if (r.num_tenants > 0) {
+    std::ostringstream sub;
+    sub << "[";
+    for (uint32_t t = 0; t < r.num_tenants; ++t) {
+      const coresim::TenantStats& ts = r.tenants[t];
+      sub << (t ? ",\n" : "\n") << JsonObj::Pad(indent + 4);
+      JsonObj tn(sub, indent + 4);
+      tn.Int("instructions", ts.instructions);
+      tn.Int("requests", ts.requests);
+      tn.Int("data_accesses", ts.data_accesses());
+      tn.Num("data_offchip_rate", ts.data_offchip_rate());
+      tn.Close();
+    }
+    sub << "\n" << JsonObj::Pad(indent + 2) << "]";
+    o.Field("tenants", sub.str());
+  }
   o.Close();
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 namespace stagedcmp::sweep {
@@ -9,7 +10,9 @@ namespace stagedcmp::sweep {
 namespace {
 
 constexpr uint64_t kMagic = 0x31444E4254435343ULL;  // "CSCTBND1"
-constexpr uint32_t kVersion = 1;
+// v2: YCSB scale knobs in the scale block; traffic-shaping and tenancy
+// fields in each config block. v1 bundles demote to a cold rebuild.
+constexpr uint32_t kVersion = 2;
 
 /// Running checksum over every payload word, written as the bundle's
 /// final word: warm replays promise bit-identity, so silent on-disk
@@ -47,18 +50,31 @@ bool ReadU64(std::FILE* f, uint64_t* v) {
 std::vector<uint64_t> ScaleBlock(const harness::WorkloadFactory& factory) {
   const workload::TpccConfig& tc = factory.tpcc_config;
   const workload::TpchConfig& hc = factory.tpch_config;
+  const workload::YcsbConfig& yc = factory.ycsb_config;
   return {tc.warehouses,        tc.districts_per_warehouse,
           tc.customers_per_district, tc.items,
           tc.initial_orders_per_district, tc.load_seed,
           hc.orders,            hc.customers,
           hc.parts,             hc.suppliers,
           hc.partsupp_per_part, hc.max_lines_per_order,
-          hc.load_seed};
+          hc.load_seed,
+          yc.records,           yc.fields,
+          yc.field_len,         yc.read_pct,
+          yc.update_pct,        yc.insert_pct,
+          yc.scan_pct,          yc.scan_len,
+          yc.ops_per_request,   yc.load_seed};
 }
 
 std::vector<uint64_t> ConfigBlock(const harness::TraceSetConfig& c) {
+  uint64_t theta_bits = 0;
+  std::memcpy(&theta_bits, &c.traffic.zipf_theta, sizeof(theta_bits));
   return {static_cast<uint64_t>(c.workload), c.clients,
-          c.requests_per_client, c.seed, static_cast<uint64_t>(c.engine)};
+          c.requests_per_client, c.seed, static_cast<uint64_t>(c.engine),
+          static_cast<uint64_t>(c.traffic.key_dist), theta_bits,
+          c.traffic.hot_rotate_period,
+          static_cast<uint64_t>(c.traffic.arrival), c.traffic.burst_on,
+          c.traffic.burst_off, c.traffic.think_instructions,
+          static_cast<uint64_t>(c.tenant2_workload), c.tenant2_clients};
 }
 
 }  // namespace
@@ -151,6 +167,9 @@ bool LoadTraceBundle(const std::string& path,
     }
     harness::TraceSet ts;
     ts.config = cfg;
+    // The tenant boundary is a pure function of the config, so it is not
+    // serialized — restore it the way WorkloadWorld::Build derives it.
+    ts.tenant_a_clients = cfg.tenant2_clients > 0 ? cfg.clients : 0;
     if (!get(&ts.total_instructions) || !get(&ts.total_events) || !get(&v)) {
       return false;
     }

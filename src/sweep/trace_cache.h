@@ -73,8 +73,14 @@ class TraceSetCache {
   /// Canonical identity of a TraceSetConfig — THE definition of "same
   /// trace set" (the runner's dedup and the bundle sequence match both
   /// go through it, so a new config field only needs adding here and in
-  /// the bundle serializer).
-  using Key = std::tuple<uint8_t, uint32_t, uint32_t, uint64_t, uint8_t>;
+  /// the bundle serializer). Traffic shaping and tenancy are part of the
+  /// identity: the theta double enters by bit pattern, so any distinct
+  /// representable skew is a distinct trace set.
+  using TrafficKey =
+      std::tuple<uint8_t, uint64_t, uint32_t, uint8_t, uint32_t, uint32_t,
+                 uint32_t>;
+  using Key = std::tuple<uint8_t, uint32_t, uint32_t, uint64_t, uint8_t,
+                         TrafficKey, uint8_t, uint32_t>;
   static Key MakeKey(const harness::TraceSetConfig& c);
 
  private:

@@ -28,6 +28,11 @@ RegionSet::RegionSet(CodeMap* map) {
   reg(RegionId::kProject, "project", CodeFootprint::kProject);
   reg(RegionId::kNlJoin, "nljoin", CodeFootprint::kNlJoin);
   reg(RegionId::kSort, "sort", CodeFootprint::kSort);
+  // PR 8 traffic subsystem — appended after every historical region so the
+  // bases above (and the PC streams of previously recorded traces) are
+  // unchanged.
+  reg(RegionId::kYcsb, "ycsb", CodeFootprint::kYcsbServe);
+  reg(RegionId::kIdle, "idle", CodeFootprint::kIdleLoop);
 }
 
 const RegionSet& RegionSet::Global() {
@@ -54,5 +59,7 @@ CodeRegion RegionLockMgr() { return Get(RegionId::kLockMgr); }
 CodeRegion RegionTxn() { return Get(RegionId::kTxn); }
 CodeRegion RegionCatalog() { return Get(RegionId::kCatalog); }
 CodeRegion RegionStageRuntime() { return Get(RegionId::kStageRuntime); }
+CodeRegion RegionYcsb() { return Get(RegionId::kYcsb); }
+CodeRegion RegionIdle() { return Get(RegionId::kIdle); }
 
 }  // namespace stagedcmp::trace

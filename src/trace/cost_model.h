@@ -45,6 +45,11 @@ struct CostModel {
   static constexpr uint32_t kLockRelease = 25;
   static constexpr uint32_t kTxnBeginCommit = 120;
   static constexpr uint32_t kLogRecord = 80;
+
+  // KV serving (YCSB-style front end over storage/B+tree).
+  static constexpr uint32_t kKvOpDispatch = 38;   // request parse + dispatch
+  static constexpr uint32_t kKvKeyEncode = 14;    // key format/compare prep
+  static constexpr uint32_t kKvFieldTouchPerLine = 6;
 };
 
 /// Hot code footprints (bytes) per component. Sum ≈ 500 KB, far beyond a
@@ -66,6 +71,8 @@ struct CodeFootprint {
   static constexpr uint32_t kTxn = 44 * 1024;
   static constexpr uint32_t kCatalogParse = 52 * 1024;
   static constexpr uint32_t kStageRuntime = 18 * 1024;
+  static constexpr uint32_t kYcsbServe = 32 * 1024;  ///< KV op dispatch/serve
+  static constexpr uint32_t kIdleLoop = 4 * 1024;    ///< think-time wait loop
 };
 
 /// Named accessors over RegionSet::Global() — compat shims for callers
@@ -86,6 +93,8 @@ CodeRegion RegionLockMgr();
 CodeRegion RegionTxn();
 CodeRegion RegionCatalog();
 CodeRegion RegionStageRuntime();
+CodeRegion RegionYcsb();
+CodeRegion RegionIdle();
 
 }  // namespace stagedcmp::trace
 

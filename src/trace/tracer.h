@@ -83,8 +83,12 @@ enum class RegionId : uint8_t {
   kTxn,
   kCatalog,
   kStageRuntime,
+  // PR 8 additions — appended at the tail so every pre-existing region
+  // keeps its historical base address (and therefore its PC stream).
+  kYcsb,
+  kIdle,
 };
-inline constexpr size_t kRegionCount = 15;
+inline constexpr size_t kRegionCount = 17;
 
 /// All engine code regions resolved against one CodeMap. The constructor
 /// registers every region eagerly in one canonical order (see

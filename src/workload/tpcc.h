@@ -78,6 +78,11 @@ class TpccDriver {
   /// Executes a specific transaction type (tests / microbenches).
   void Run(TpccTxnType type, trace::Tracer* tracer);
 
+  /// Re-homes the terminal (traffic-shaped warehouse skew: the world's
+  /// build loop points each transaction at a shaper-drawn warehouse).
+  void set_home_warehouse(uint32_t w) { home_w_ = w; }
+  uint32_t home_warehouse() const { return home_w_; }
+
   uint64_t transactions_executed() const { return executed_; }
   uint64_t new_order_count() const { return new_orders_; }
 

@@ -1,0 +1,98 @@
+#include "workload/traffic.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace stagedcmp::workload {
+
+const char* KeyDistName(KeyDist d) {
+  switch (d) {
+    case KeyDist::kUniform: return "uniform";
+    case KeyDist::kZipfian: return "zipf";
+    case KeyDist::kHotRotate: return "hotrotate";
+  }
+  return "?";
+}
+
+const char* ArrivalShapeName(ArrivalShape a) {
+  switch (a) {
+    case ArrivalShape::kSteady: return "steady";
+    case ArrivalShape::kOnOffBurst: return "burst";
+    case ArrivalShape::kThinkTime: return "think";
+  }
+  return "?";
+}
+
+TrafficShaper::TrafficShaper(const TrafficConfig& config, uint64_t n_keys,
+                             uint64_t seed)
+    : config_(config),
+      n_(std::max<uint64_t>(n_keys, 1)),
+      hot_size_(std::max<uint64_t>(n_ / 64, 1)),
+      rng_(seed) {
+  if (config_.shapes_keys()) {
+    zipf_.emplace(n_, config_.zipf_theta);
+  }
+}
+
+uint64_t TrafficShaper::NextKey() {
+  ++stats_.keys_generated;
+  uint64_t rank;
+  if (zipf_) {
+    rank = zipf_->Next(rng_);
+    if (rank >= n_) rank = n_ - 1;  // guard the estimator's edge
+  } else {
+    rank = rng_.Next() % n_;
+  }
+  if (rank < hot_size_) ++stats_.hot_set_hits;
+  // Zipf ranks are popularity order; the rotation offset remaps which
+  // concrete keys are currently hot without changing the law's shape.
+  return (rank + rotate_offset_) % n_;
+}
+
+void TrafficShaper::BeforeRequest(trace::Tracer* tracer) {
+  const uint64_t req = requests_++;
+  if (config_.key_dist == KeyDist::kHotRotate && req > 0 &&
+      config_.hot_rotate_period > 0 && req % config_.hot_rotate_period == 0) {
+    rotate_offset_ =
+        (rotate_offset_ + std::max<uint64_t>(n_ / 8, 1)) % n_;
+  }
+  if (!config_.shapes_arrival() || tracer == nullptr) return;
+  uint32_t idle = 0;
+  if (config_.arrival == ArrivalShape::kThinkTime) {
+    idle = config_.think_instructions;
+    ++stats_.think_events;
+  } else if (config_.arrival == ArrivalShape::kOnOffBurst &&
+             config_.burst_on > 0 && req % config_.burst_on == 0) {
+    idle = config_.burst_off * config_.think_instructions;
+    ++stats_.burst_gaps;
+  }
+  if (idle == 0) return;
+  // The wait loop is real (fetched) code: bursty clients re-enter their
+  // serving regions cold, which is part of what bursts cost.
+  tracer->EnterRegion(trace::RegionId::kIdle);
+  tracer->Compute(idle);
+  stats_.idle_instructions += idle;
+}
+
+void FoldTrafficMetrics(const TrafficShaper::Stats& stats,
+                        MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  if (stats.keys_generated) {
+    metrics->counter("traffic.keys_generated").Add(stats.keys_generated);
+  }
+  if (stats.hot_set_hits) {
+    metrics->counter("traffic.hot_set_hits").Add(stats.hot_set_hits);
+  }
+  if (stats.burst_gaps) {
+    metrics->counter("traffic.burst_gaps").Add(stats.burst_gaps);
+  }
+  if (stats.think_events) {
+    metrics->counter("traffic.think_events").Add(stats.think_events);
+  }
+  if (stats.idle_instructions) {
+    metrics->counter("traffic.idle_instructions").Add(stats.idle_instructions);
+  }
+}
+
+}  // namespace stagedcmp::workload

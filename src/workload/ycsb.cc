@@ -1,0 +1,208 @@
+#include "workload/ycsb.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/metrics.h"
+#include "trace/cost_model.h"
+
+namespace stagedcmp::workload {
+
+namespace {
+constexpr char kTableName[] = "usertable";
+constexpr char kIndexName[] = "usertable_pk";
+constexpr int kMaxFieldLen = 256;
+
+db::Schema MakeSchema(const YcsbConfig& cfg) {
+  std::vector<db::Column> cols;
+  cols.push_back({"ycsb_key", db::ColumnType::kInt64, 8});
+  for (uint32_t f = 0; f < cfg.fields; ++f) {
+    cols.push_back({"f" + std::to_string(f), db::ColumnType::kChar,
+                    cfg.field_len});
+  }
+  return db::Schema(std::move(cols));
+}
+}  // namespace
+
+const char* YcsbOpName(YcsbOp op) {
+  switch (op) {
+    case YcsbOp::kRead: return "read";
+    case YcsbOp::kUpdate: return "update";
+    case YcsbOp::kInsert: return "insert";
+    case YcsbOp::kScan: return "scan";
+  }
+  return "?";
+}
+
+void YcsbLoad(Database* db, const YcsbConfig& config) {
+  assert(config.read_pct + config.update_pct + config.insert_pct +
+             config.scan_pct ==
+         100);
+  assert(config.field_len <= kMaxFieldLen);
+  db::Table* table = db->CreateTable(kTableName, MakeSchema(config));
+  db::BPlusTree* index = db->CreateIndex(kIndexName);
+
+  Rng rng(config.load_seed);
+  std::vector<uint8_t> tuple(table->schema.tuple_size());
+  char buf[kMaxFieldLen];
+  for (uint64_t key = 0; key < config.records; ++key) {
+    db::TupleRef ref(&table->schema, tuple.data());
+    ref.SetInt(0, static_cast<int64_t>(key));
+    for (uint32_t f = 0; f < config.fields; ++f) {
+      const int len = rng.AlphaStringInto(buf, static_cast<int>(config.field_len),
+                                          static_cast<int>(config.field_len));
+      ref.SetChars(1 + f, buf, static_cast<size_t>(len));
+    }
+    const db::Rid rid = table->heap->Insert(tuple.data(), nullptr);
+    index->Insert(key, rid.Encode(), nullptr);
+  }
+}
+
+YcsbDriver::YcsbDriver(Database* db, const YcsbConfig& config,
+                       const TrafficConfig& traffic, uint64_t seed)
+    : db_(db),
+      config_(config),
+      table_(db->table(kTableName)),
+      index_(db->index(kIndexName)),
+      rng_(seed),
+      // The shaper's Rng is derived, not shared: key popularity draws
+      // must not perturb the op-mix stream (and vice versa).
+      shaper_(traffic, config.records, seed * 31 + 7),
+      next_insert_key_(config.records) {
+  assert(table_ != nullptr && index_ != nullptr);
+  tuple_buf_.resize(table_->schema.tuple_size());
+}
+
+YcsbOp YcsbDriver::DrawOpType() {
+  const uint32_t r = static_cast<uint32_t>(rng_.Uniform(1, 100));
+  if (r <= config_.read_pct) return YcsbOp::kRead;
+  if (r <= config_.read_pct + config_.update_pct) return YcsbOp::kUpdate;
+  if (r <= config_.read_pct + config_.update_pct + config_.insert_pct) {
+    return YcsbOp::kInsert;
+  }
+  return YcsbOp::kScan;
+}
+
+void YcsbDriver::RunOne(trace::Tracer* tracer, bool staged) {
+  shaper_.BeforeRequest(tracer);
+  // Draw the whole batch first (op types, keys, and insert-key assignment
+  // happen in arrival order for both modes); execution order is the only
+  // staged/unstaged difference.
+  batch_.clear();
+  for (uint32_t i = 0; i < config_.ops_per_request; ++i) {
+    Op op;
+    op.type = DrawOpType();
+    op.key = op.type == YcsbOp::kInsert ? next_insert_key_++
+                                        : shaper_.NextKey();
+    batch_.push_back(op);
+  }
+  if (staged) {
+    // Cohort scheduling: group the batch so one op kind's serving code
+    // runs over all its ops before the next kind's code is touched.
+    std::stable_sort(batch_.begin(), batch_.end(),
+                     [](const Op& a, const Op& b) {
+                       return static_cast<uint8_t>(a.type) <
+                              static_cast<uint8_t>(b.type);
+                     });
+  }
+  for (const Op& op : batch_) Execute(op, tracer);
+  ++requests_;
+  if (tracer != nullptr) tracer->EndRequest();
+}
+
+void YcsbDriver::Execute(const Op& op, trace::Tracer* t) {
+  ++ops_[static_cast<size_t>(op.type)];
+  if (t != nullptr) {
+    t->EnterRegion(trace::RegionId::kYcsb);
+    t->Compute(trace::CostModel::kKvOpDispatch +
+               trace::CostModel::kKvKeyEncode);
+  }
+  switch (op.type) {
+    case YcsbOp::kRead: DoRead(op.key, t); break;
+    case YcsbOp::kUpdate: DoUpdate(op.key, t); break;
+    case YcsbOp::kInsert: DoInsert(op.key, t); break;
+    case YcsbOp::kScan: DoScan(op.key, t); break;
+  }
+}
+
+void YcsbDriver::DoRead(uint64_t key, trace::Tracer* t) {
+  uint64_t rid_enc = 0;
+  if (!index_->Lookup(key, &rid_enc, t)) return;
+  uint8_t* tuple = table_->heap->Get(db::Rid::Decode(rid_enc), t);
+  if (t != nullptr && tuple != nullptr) {
+    // Materialize the record back in serving code.
+    t->EnterRegion(trace::RegionId::kYcsb);
+    t->Read(tuple, table_->schema.tuple_size(),
+            trace::CostModel::kKvFieldTouchPerLine);
+  }
+}
+
+void YcsbDriver::DoUpdate(uint64_t key, trace::Tracer* t) {
+  uint64_t rid_enc = 0;
+  if (!index_->Lookup(key, &rid_enc, t)) return;
+  uint8_t* tuple = table_->heap->Get(db::Rid::Decode(rid_enc), t);
+  if (tuple == nullptr) return;
+  // Rewrite one payload field in place (YCSB update semantics).
+  db::TupleRef ref(&table_->schema, tuple);
+  const size_t col = 1 + key % config_.fields;
+  char buf[kMaxFieldLen];
+  const int len = rng_.AlphaStringInto(buf, static_cast<int>(config_.field_len),
+                                       static_cast<int>(config_.field_len));
+  ref.SetChars(col, buf, static_cast<size_t>(len));
+  if (t != nullptr) {
+    t->EnterRegion(trace::RegionId::kYcsb);
+    t->Write(tuple + table_->schema.offset(col), config_.field_len,
+             trace::CostModel::kKvFieldTouchPerLine);
+  }
+}
+
+void YcsbDriver::DoInsert(uint64_t key, trace::Tracer* t) {
+  db::TupleRef ref(&table_->schema, tuple_buf_.data());
+  ref.SetInt(0, static_cast<int64_t>(key));
+  char buf[kMaxFieldLen];
+  for (uint32_t f = 0; f < config_.fields; ++f) {
+    const int len = rng_.AlphaStringInto(
+        buf, static_cast<int>(config_.field_len),
+        static_cast<int>(config_.field_len));
+    ref.SetChars(1 + f, buf, static_cast<size_t>(len));
+  }
+  const db::Rid rid = table_->heap->Insert(tuple_buf_.data(), t);
+  index_->Insert(key, rid.Encode(), t);
+}
+
+void YcsbDriver::DoScan(uint64_t key, trace::Tracer* t) {
+  scan_rids_.clear();
+  const uint32_t want = config_.scan_len;
+  index_->Scan(key, UINT64_MAX,
+               [&](uint64_t, uint64_t value) {
+                 scan_rids_.push_back(value);
+                 return scan_rids_.size() < want;
+               },
+               t);
+  for (uint64_t enc : scan_rids_) {
+    uint8_t* tuple = table_->heap->Get(db::Rid::Decode(enc), t);
+    if (t != nullptr && tuple != nullptr) {
+      t->EnterRegion(trace::RegionId::kYcsb);
+      t->Read(tuple, table_->schema.tuple_size(),
+              trace::CostModel::kKvFieldTouchPerLine);
+    }
+  }
+}
+
+void FoldYcsbMetrics(const YcsbDriver& driver, MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  for (size_t i = 0; i < kYcsbOpCount; ++i) {
+    const auto op = static_cast<YcsbOp>(i);
+    const uint64_t n = driver.ops_executed(op);
+    if (n != 0) {
+      metrics->counter(std::string("ycsb.ops_") + YcsbOpName(op)).Add(n);
+    }
+  }
+  if (driver.requests_executed() != 0) {
+    metrics->counter("ycsb.requests").Add(driver.requests_executed());
+  }
+  FoldTrafficMetrics(driver.shaper().stats(), metrics);
+}
+
+}  // namespace stagedcmp::workload

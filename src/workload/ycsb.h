@@ -1,0 +1,104 @@
+// YCSB-style key-value workload over the db storage/B+tree layer.
+//
+// A single "usertable" of fixed-width records (int64 key + padded CHAR
+// fields) with a B+tree primary index, served by a read/update/insert/scan
+// op mix — the cloud-serving counterpart to the paper's TPC workloads. Ops
+// run natively and are traced through the canonical RegionSet: the KV
+// front end occupies its own code region (kYcsb) while storage and index
+// touches land in kBufferPool/kBtree, so the replayed instruction
+// footprint interleaves serving code with substrate code exactly like the
+// TPC drivers do.
+//
+// Key popularity and arrival pacing come from a composed TrafficShaper,
+// making this the natural carrier for Zipfian skew and burst grids.
+#ifndef STAGEDCMP_WORKLOAD_YCSB_H_
+#define STAGEDCMP_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/tracer.h"
+#include "workload/database.h"
+#include "workload/traffic.h"
+
+namespace stagedcmp::workload {
+
+struct YcsbConfig {
+  // Default scale: ~20k records x ~0.4KB ≈ 8MB of table heap plus index —
+  // a secondary working set past the mid-size L2s, with the hot Zipf head
+  // and index upper levels forming the small primary set, mirroring the
+  // TPC-C sizing rationale (docs/WORKLOADS.md).
+  uint32_t records = 20000;
+  uint32_t fields = 4;        ///< CHAR payload columns per record
+  uint32_t field_len = 96;    ///< bytes per payload column
+  uint32_t read_pct = 70;     ///< op mix; must sum to 100
+  uint32_t update_pct = 20;
+  uint32_t insert_pct = 5;
+  uint32_t scan_pct = 5;
+  uint32_t scan_len = 12;     ///< records per scan op
+  uint32_t ops_per_request = 8;  ///< ops batched into one traced request
+  uint64_t load_seed = 77;
+};
+
+/// Builds the usertable schema + primary index and bulk-loads `records`
+/// rows (untraced, ascending keys — takes the B+tree rightmost-append
+/// fast path like the TPC loaders).
+void YcsbLoad(Database* db, const YcsbConfig& config);
+
+enum class YcsbOp : uint8_t { kRead, kUpdate, kInsert, kScan };
+inline constexpr size_t kYcsbOpCount = 4;
+
+const char* YcsbOpName(YcsbOp op);
+
+/// One emulated KV client. Each RunOne issues `ops_per_request` ops as one
+/// traced request; `staged` groups the batch by op type before executing
+/// (the cohort-scheduling analogue: one op kind's code runs over the whole
+/// batch), while unstaged executes in arrival order.
+class YcsbDriver {
+ public:
+  YcsbDriver(Database* db, const YcsbConfig& config,
+             const TrafficConfig& traffic, uint64_t seed);
+
+  void RunOne(trace::Tracer* tracer, bool staged);
+
+  uint64_t requests_executed() const { return requests_; }
+  uint64_t ops_executed(YcsbOp op) const {
+    return ops_[static_cast<size_t>(op)];
+  }
+  const TrafficShaper& shaper() const { return shaper_; }
+
+ private:
+  struct Op {
+    YcsbOp type;
+    uint64_t key;
+  };
+
+  YcsbOp DrawOpType();
+  void Execute(const Op& op, trace::Tracer* t);
+  void DoRead(uint64_t key, trace::Tracer* t);
+  void DoUpdate(uint64_t key, trace::Tracer* t);
+  void DoInsert(uint64_t key, trace::Tracer* t);
+  void DoScan(uint64_t key, trace::Tracer* t);
+
+  Database* db_;
+  YcsbConfig config_;
+  db::Table* table_;
+  db::BPlusTree* index_;
+  Rng rng_;
+  TrafficShaper shaper_;
+  uint64_t next_insert_key_;
+  uint64_t requests_ = 0;
+  uint64_t ops_[kYcsbOpCount] = {0, 0, 0, 0};
+  std::vector<Op> batch_;
+  std::vector<uint8_t> tuple_buf_;
+  std::vector<uint64_t> scan_rids_;
+};
+
+/// Folds one driver's op counters into `metrics` under `ycsb.*`.
+/// Null-safe; called once per client at the end of a world build.
+void FoldYcsbMetrics(const YcsbDriver& driver, MetricsRegistry* metrics);
+
+}  // namespace stagedcmp::workload
+
+#endif  // STAGEDCMP_WORKLOAD_YCSB_H_

@@ -65,6 +65,7 @@ inline void ApplyTinyScale(harness::WorkloadFactory* f) {
   f->tpch_config.orders = 4000;
   f->tpch_config.customers = 400;
   f->tpch_config.parts = 600;
+  f->ycsb_config.records = 3000;
 }
 
 class TraceCache {

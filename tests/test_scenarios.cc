@@ -214,5 +214,101 @@ TEST(ScenarioInvariants, CmpManyLeanOutrunsSmpFewFatSaturated) {
   }
 }
 
+// --- Traffic & tenancy invariants ----------------------------------------
+
+/// Off-chip + coherence share of all data accesses — the same ratio
+/// TenantStats::data_offchip_rate reports per tenant, over the aggregate.
+double AggregateDataOffchipRate(const coresim::SimResult& r) {
+  uint64_t total = 0;
+  for (int c = 0; c < static_cast<int>(memsim::AccessClass::kCount); ++c) {
+    total += r.mem.data_count[c];
+  }
+  const uint64_t off =
+      r.mem.data_count[static_cast<int>(memsim::AccessClass::kOffChip)] +
+      r.mem.data_count[static_cast<int>(memsim::AccessClass::kCoherence)];
+  return total ? static_cast<double>(off) / static_cast<double>(total) : 0.0;
+}
+
+/// CMP preset with an L2 small enough that the tiny-scale working sets do
+/// not simply fit — the regime where popularity skew and co-tenant
+/// pressure are visible at all.
+harness::ExperimentConfig SmallL2Cmp() {
+  harness::ExperimentConfig ec = HardwareConfig(Hardware::kCmpManyLean);
+  ec.l2_bytes = 1ull << 20;
+  return ec;
+}
+
+// Zipfian concentration turns L2 data misses into hits: the hotter the
+// head of the popularity law, the smaller the effective working set, so
+// the off-chip data rate must not rise with theta (the skew grid's
+// monotonicity claim, pinned at its endpoints and midpoint).
+TEST(TrafficInvariants, SkewConcentrationDoesNotRaiseOffchipMisses) {
+  if (HeapLayoutPerturbed()) {
+    GTEST_SKIP() << "miss-rate orderings depend on real heap layout, which "
+                    "the sanitizer allocator perturbs";
+  }
+  // Enough requests that uniform draws sweep most of the record space,
+  // against an L2 well under the table size — the hot-set-dominated
+  // regime where popularity concentration is the difference between
+  // streaming off-chip and hitting on-chip.
+  harness::ExperimentConfig ec = SmallL2Cmp();
+  ec.l2_bytes = 512u << 10;
+  const double thetas[3] = {0.0, 0.6, 0.99};
+  double rate[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    harness::TraceSetConfig tc;
+    tc.workload = harness::WorkloadKind::kYcsb;
+    tc.clients = 8;
+    tc.requests_per_client = 48;
+    tc.seed = 23;
+    tc.traffic.key_dist = workload::KeyDist::kZipfian;
+    tc.traffic.zipf_theta = thetas[i];
+    const harness::TraceSet traces = TraceCache::Factory()->Build(tc);
+    rate[i] = AggregateDataOffchipRate(harness::RunExperiment(ec, traces));
+  }
+  EXPECT_LE(rate[1], rate[0]) << "theta 0.6 vs 0.0";
+  EXPECT_LE(rate[2], rate[1]) << "theta 0.99 vs 0.6";
+  EXPECT_LT(rate[2], rate[0]) << "endpoints must strictly order";
+}
+
+// Sharing the chip is never free: with a co-tenant contending for the
+// same L2, each tenant's off-chip data rate is at least what it pays
+// running the machine alone.
+TEST(TrafficInvariants, CoTenantInterferenceNeverImprovesMissRates) {
+  if (HeapLayoutPerturbed()) {
+    GTEST_SKIP() << "miss-rate orderings depend on real heap layout, which "
+                    "the sanitizer allocator perturbs";
+  }
+  harness::TraceSetConfig oltp_alone;
+  oltp_alone.workload = harness::WorkloadKind::kOltp;
+  oltp_alone.clients = 8;
+  oltp_alone.requests_per_client = 6;
+  oltp_alone.seed = 29;
+
+  harness::TraceSetConfig ycsb_alone;
+  ycsb_alone.workload = harness::WorkloadKind::kYcsb;
+  ycsb_alone.clients = 8;
+  ycsb_alone.requests_per_client = 6;
+  ycsb_alone.seed = 29;
+
+  harness::TraceSetConfig corun = oltp_alone;
+  corun.tenant2_workload = harness::WorkloadKind::kYcsb;
+  corun.tenant2_clients = 8;
+
+  harness::WorkloadFactory* f = TraceCache::Factory();
+  const harness::ExperimentConfig ec = SmallL2Cmp();
+  const double alone_oltp =
+      AggregateDataOffchipRate(harness::RunExperiment(ec, f->Build(oltp_alone)));
+  const double alone_ycsb =
+      AggregateDataOffchipRate(harness::RunExperiment(ec, f->Build(ycsb_alone)));
+
+  const coresim::SimResult co = harness::RunExperiment(ec, f->Build(corun));
+  ASSERT_EQ(co.num_tenants, 2u);
+  EXPECT_GT(co.tenants[0].instructions, 0u);
+  EXPECT_GT(co.tenants[1].instructions, 0u);
+  EXPECT_GE(co.tenants[0].data_offchip_rate(), alone_oltp) << "tenant A";
+  EXPECT_GE(co.tenants[1].data_offchip_rate(), alone_ycsb) << "tenant B";
+}
+
 }  // namespace
 }  // namespace stagedcmp::scenario

@@ -12,8 +12,10 @@
 #include "common/rng.h"
 #include "db/bptree.h"
 #include "db/exec.h"
+#include "harness/experiment.h"
 #include "memsim/cache.h"
 #include "memsim/hierarchy.h"
+#include "sweep/trace_bundle.h"
 #include "trace/tracer.h"
 #include "workload/tpcc.h"
 #include "workload/tpch.h"
@@ -212,5 +214,71 @@ static void BM_CmpHierarchyAccess(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CmpHierarchyAccess);
+
+// Warm bundle transports, head to head on one synthetic bundle (32 MiB
+// of fabricated trace words — the loader never interprets payloads, so
+// no workload build is needed). fread pays a full copy plus eager
+// per-trace checksums; mmap validates only the header and returns
+// zero-copy views, deferring payload checksums to the build pool. The
+// ratio here is the substance of the perf summary's warm_mmap gate.
+namespace {
+struct SyntheticBundle {
+  harness::WorkloadFactory factory;
+  harness::TraceSetConfig cfg;
+  std::string path = "/tmp/stagedcmp_bm_bundle.traces";
+
+  SyntheticBundle() {
+    cfg.clients = 8;
+    cfg.requests_per_client = 1;
+    cfg.seed = 1;
+    harness::TraceSet set;
+    set.config = cfg;
+    Rng rng(99);
+    constexpr uint64_t kWordsPerClient = 512 * 1024;  // 8 * 4 MiB total
+    for (uint32_t c = 0; c < cfg.clients; ++c) {
+      trace::ClientTrace t;
+      t.requests = 1;
+      t.events.reserve(kWordsPerClient);
+      for (uint64_t i = 0; i < kWordsPerClient; ++i) {
+        t.events.push_back(rng.Next());
+      }
+      t.total_instructions = kWordsPerClient;
+      set.total_instructions += t.total_instructions;
+      set.total_events += t.events.size();
+      set.traces.push_back(std::move(t));
+    }
+    sweep::SaveTraceBundle(path, factory, {&set});
+  }
+};
+}  // namespace
+
+static void BM_BundleWarmFread(benchmark::State& state) {
+  static SyntheticBundle bundle;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    sweep::BundleOpenResult r =
+        sweep::OpenTraceBundle(bundle.path, bundle.factory, {bundle.cfg},
+                               nullptr, /*force_fread=*/true);
+    if (r.mode != "fread") state.SkipWithError("fread open failed");
+    benchmark::DoNotOptimize(r.sets);
+    bytes += r.sets[0].total_events * 8;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_BundleWarmFread);
+
+static void BM_BundleWarmMmap(benchmark::State& state) {
+  static SyntheticBundle bundle;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    sweep::BundleOpenResult r =
+        sweep::OpenTraceBundle(bundle.path, bundle.factory, {bundle.cfg});
+    if (r.mode != "mmap") state.SkipWithError("mmap open failed");
+    benchmark::DoNotOptimize(r.sets);
+    bytes += r.sets[0].total_events * 8;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_BundleWarmMmap);
 
 BENCHMARK_MAIN();

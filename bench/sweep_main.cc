@@ -35,6 +35,7 @@
 #include "memsim/hierarchy.h"
 #include "sweep/builtin_specs.h"
 #include "sweep/runner.h"
+#include "sweep/shard.h"
 #include "sweep/sinks.h"
 
 using namespace stagedcmp;
@@ -46,9 +47,11 @@ int Usage(const char* argv0, int code) {
       code == 0 ? stdout : stderr,
       "usage: %s --spec NAME [--threads N] [--format table|json|csv]\n"
       "          [--out FILE] [--perf-out FILE] [--trace-bundle FILE]\n"
+      "          [--bundle-mode auto|fread] [--shard I/N]\n"
       "          [--metrics-out FILE] [--trace-out FILE]\n"
       "          [--deterministic] [--smp-snoop-reference]\n"
       "          [--smp-dir-probe]\n"
+      "       %s --merge OUT SHARD_FILE...\n"
       "       %s --list\n"
       "\n"
       "  --spec NAME       built-in grid to run (see --list)\n"
@@ -68,6 +71,25 @@ int Usage(const char* argv0, int code) {
       "                    matching bundle skips trace generation (warm),\n"
       "                    otherwise the cold build rewrites it. Delete\n"
       "                    the file after changing trace generation.\n"
+      "  --bundle-mode M   bundle transport: auto (default — mmap the\n"
+      "                    file and replay events zero-copy, demoting to\n"
+      "                    fread on map failure) or fread (owning,\n"
+      "                    eagerly-verified reads; measurement and\n"
+      "                    fallback testing)\n"
+      "  --shard I/N       execute only cells with index %% N == I. The\n"
+      "                    FULL grid is still expanded (canonical indices\n"
+      "                    and the bundle build sequence are unchanged)\n"
+      "                    and sharded runs never rewrite the bundle.\n"
+      "                    Writes a shard result file (JSON) to --out\n"
+      "                    instead of sink output; reassemble the N\n"
+      "                    files with --merge.\n"
+      "  --merge OUT F...  validate and merge N shard files, then emit\n"
+      "                    through the configured sink (timing-free) to\n"
+      "                    OUT ('-' = stdout). Honors --format/--golden.\n"
+      "                    Output is byte-identical to the same\n"
+      "                    unsharded run: full metrics when the shards\n"
+      "                    replayed one warm bundle (--deterministic),\n"
+      "                    golden fields for any runs (--golden).\n"
       "  --deterministic   omit timing fields from json/csv output\n"
       "  --golden          process-invariant output (for golden diffs);\n"
       "                    json (default) or csv\n"
@@ -80,7 +102,7 @@ int Usage(const char* argv0, int code) {
       "                    native throughput on a 64-node private-L2\n"
       "                    machine and record it as the perf summary's\n"
       "                    \"smp_directory\" section\n",
-      argv0, argv0);
+      argv0, argv0, argv0);
   return code;
 }
 
@@ -158,8 +180,12 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string perf_path;
   std::string bundle_path;
+  std::string bundle_mode = "auto";
   std::string metrics_path;
   std::string trace_path;
+  std::string shard_arg;   // "I/N"
+  std::string merge_out;   // --merge output path; non-empty = merge mode
+  std::vector<std::string> shard_files;  // --merge positionals
   uint32_t threads = 0;
   bool deterministic = false;
   bool golden = false;
@@ -196,6 +222,12 @@ int main(int argc, char** argv) {
       perf_path = value("--perf-out");
     } else if (arg == "--trace-bundle") {
       bundle_path = value("--trace-bundle");
+    } else if (arg == "--bundle-mode") {
+      bundle_mode = value("--bundle-mode");
+    } else if (arg == "--shard") {
+      shard_arg = value("--shard");
+    } else if (arg == "--merge") {
+      merge_out = value("--merge");
     } else if (arg == "--metrics-out") {
       metrics_path = value("--metrics-out");
     } else if (arg == "--trace-out") {
@@ -212,6 +244,8 @@ int main(int argc, char** argv) {
       list = true;
     } else if (arg == "--help" || arg == "-h") {
       return Usage(argv[0], 0);
+    } else if (!arg.empty() && arg[0] != '-' && !merge_out.empty()) {
+      shard_files.push_back(arg);
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return Usage(argv[0], 2);
@@ -225,6 +259,101 @@ int main(int argc, char** argv) {
                   spec.CrossProductSize(), spec.description().c_str());
     }
     return 0;
+  }
+
+  if (!merge_out.empty()) {
+    // Merge mode is a pure reassembly pass: no spec is run, the spec
+    // identity comes from (and is validated against) the shard files.
+    if (!shard_arg.empty() || !spec_name.empty()) {
+      std::fprintf(stderr,
+                   "--merge cannot be combined with --shard/--spec\n");
+      return 2;
+    }
+    if (shard_files.empty()) {
+      std::fprintf(stderr, "--merge requires shard file arguments\n");
+      return Usage(argv[0], 2);
+    }
+    std::vector<std::string> texts;
+    texts.reserve(shard_files.size());
+    for (const std::string& path : shard_files) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot read shard file '%s'\n", path.c_str());
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      texts.push_back(buf.str());
+    }
+    std::string name;
+    if (!sweep::PeekShardSpecName(texts[0], &name)) {
+      std::fprintf(stderr, "'%s' is not a shard result file\n",
+                   shard_files[0].c_str());
+      return 1;
+    }
+    if (!sweep::HasBuiltinSpec(name)) {
+      std::fprintf(stderr, "shard file names unknown spec '%s'\n",
+                   name.c_str());
+      return 1;
+    }
+    sweep::SweepReport report;
+    std::string err;
+    if (!sweep::MergeShardReports(sweep::BuiltinSpec(name), texts, &report,
+                                  &err)) {
+      std::fprintf(stderr, "merge failed: %s\n", err.c_str());
+      return 1;
+    }
+    // The merged report carries no timing, so the sink always runs
+    // timing-free — the bytes match an unsharded --deterministic run.
+    if (format.empty()) format = golden ? "json" : "table";
+    std::unique_ptr<sweep::ResultSink> sink =
+        sweep::MakeSink(format, /*include_timing=*/false, golden);
+    if (!sink) {
+      std::fprintf(stderr, "unknown format '%s' for --merge\n",
+                   format.c_str());
+      return 2;
+    }
+    if (merge_out == "-") {
+      sink->Emit(report, std::cout);
+    } else {
+      std::ofstream out(merge_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open '%s'\n", merge_out.c_str());
+        return 1;
+      }
+      sink->Emit(report, out);
+    }
+    return 0;
+  }
+  if (!shard_files.empty()) {
+    std::fprintf(stderr, "positional arguments need --merge\n");
+    return Usage(argv[0], 2);
+  }
+
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 0;
+  if (!shard_arg.empty()) {
+    char* end = nullptr;
+    const unsigned long i = std::strtoul(shard_arg.c_str(), &end, 10);
+    unsigned long n = 0;
+    if (end != shard_arg.c_str() && *end == '/') {
+      const char* rest = end + 1;
+      n = std::strtoul(rest, &end, 10);
+      if (end == rest) n = 0;
+    }
+    if (n < 2 || n > 4096 || i >= n || *end != '\0') {
+      std::fprintf(stderr,
+                   "--shard must be I/N with 0 <= I < N <= 4096, got "
+                   "'%s'\n", shard_arg.c_str());
+      return 2;
+    }
+    shard_index = static_cast<uint32_t>(i);
+    shard_count = static_cast<uint32_t>(n);
+  }
+  if (bundle_mode != "auto" && bundle_mode != "fread") {
+    std::fprintf(stderr, "--bundle-mode must be auto or fread, got '%s'\n",
+                 bundle_mode.c_str());
+    return 2;
   }
 
   if (spec_name.empty()) return Usage(argv[0], 2);
@@ -278,6 +407,9 @@ int main(int argc, char** argv) {
   sweep::RunnerOptions options;
   options.threads = threads;
   options.trace_bundle = bundle_path;
+  options.bundle_mode = bundle_mode;
+  options.shard_index = shard_index;
+  options.shard_count = shard_count;
   options.metrics = metrics;
   options.trace = tracer.get();
   sweep::SweepRunner runner(&factory, options);
@@ -289,15 +421,24 @@ int main(int argc, char** argv) {
 
   {
     TraceSpan sink_span(tracer.get(), "io", "sink.write");
+    // Sharded runs emit the shard result file (--merge reassembles sink
+    // output later); everything else goes through the configured sink.
+    const auto emit = [&](std::ostream& os) {
+      if (shard_count > 1) {
+        sweep::WriteShardFile(report, os);
+      } else {
+        sink->Emit(report, os);
+      }
+    };
     if (out_path.empty()) {
-      sink->Emit(report, std::cout);
+      emit(std::cout);
     } else {
       std::ofstream out(out_path);
       if (!out) {
         std::fprintf(stderr, "cannot open '%s'\n", out_path.c_str());
         return 1;
       }
-      sink->Emit(report, out);
+      emit(out);
     }
   }
 

@@ -8,11 +8,15 @@
 # trajectories for both the cold build+sim path and the warm replay path
 # (cells/sec, wall-clock, SMP directory-vs-snoop probe), runs an
 # observability pass (metrics + span timeline on, golden re-diffed,
-# counters cross-checked against the perf summary), diffs the
-# smokesmp grid's directory and snoop-reference arms byte-for-byte, and
-# the sanitizer pass diffs the process-invariant --golden JSON against
-# tests/golden/sweep_smoke.json. An optional ThreadSanitizer pass races
-# the parallel cold build under TSan.
+# counters cross-checked against the perf summary), exercises sharded
+# execution (cold shards + merge re-diffed against the golden; warm
+# shards off one mapped bundle re-diffed against the unsharded run's
+# full deterministic bytes, for both the smoke and skew grids), checks
+# the bundle transports (mapped load must beat the owning fread load by
+# >=10x), diffs the smokesmp grid's directory and snoop-reference arms
+# byte-for-byte, and the sanitizer pass diffs the process-invariant
+# --golden JSON against tests/golden/sweep_smoke.json. An optional
+# ThreadSanitizer pass races the parallel cold build under TSan.
 #
 #   scripts/check.sh              # docs + tier-1 + ASan/UBSan passes
 #   scripts/check.sh --tier1      # docs + tier-1 only
@@ -77,6 +81,20 @@ for s in $builtin_names; do
     docs_fail=1
   fi
 done
+# sweep_main CLI drift: every flag in the driver's usage text must be
+# documented in README (catches new flags landing without docs).
+sweep_flags=$(grep -oE '"  --[a-z-]+' bench/sweep_main.cc \
+              | grep -oE '\-\-[a-z-]+' | sort -u)
+if [[ -z "$sweep_flags" ]]; then
+  echo "FAIL: could not extract sweep_main flags from bench/sweep_main.cc" >&2
+  docs_fail=1
+fi
+for f in $sweep_flags; do
+  if ! grep -q -- "$f" README.md; then
+    echo "FAIL: sweep_main flag '$f' is not documented in README" >&2
+    docs_fail=1
+  fi
+done
 [[ $docs_fail -eq 0 ]] || exit 1
 echo "    docs OK"
 
@@ -112,6 +130,27 @@ if [[ $run_tier1 -eq 1 ]]; then
   diff -u build/sweep_smoke_golden_t1.csv build/sweep_smoke_golden_t2.csv
   diff -u build/sweep_smoke_golden_t1.csv build/sweep_smoke_golden_t8.csv
 
+  echo "==> sharded execution: cold smoke shards + merge vs golden"
+  # Two cold shard processes cover the grid; the merge must reassemble
+  # the committed golden byte-for-byte (cold shards build in separate
+  # processes, so only the process-invariant golden fields compare).
+  ./build/bench/sweep_main --spec smoke --threads 4 --shard 0/2 \
+    --out build/smoke_shard0.json
+  ./build/bench/sweep_main --spec smoke --threads 4 --shard 1/2 \
+    --out build/smoke_shard1.json
+  ./build/bench/sweep_main --merge build/sweep_smoke_merged_golden.json \
+    build/smoke_shard0.json build/smoke_shard1.json --golden
+  diff -u tests/golden/sweep_smoke.json build/sweep_smoke_merged_golden.json
+  # Malformed merges must be rejected, not silently mis-assembled.
+  if ./build/bench/sweep_main --merge /dev/null \
+       build/smoke_shard0.json build/smoke_shard0.json 2>/dev/null; then
+    echo "FAIL: overlapping shard merge was accepted" >&2; exit 1
+  fi
+  if ./build/bench/sweep_main --merge /dev/null \
+       build/smoke_shard0.json 2>/dev/null; then
+    echo "FAIL: incomplete shard merge was accepted" >&2; exit 1
+  fi
+
   echo "==> sweep smoke grid: BENCH trajectory (warm)"
   # Warm pass: replay-only single-thread trajectory (the committed
   # BENCH_sweep.json baseline is measured exactly this way), plus the
@@ -127,6 +166,67 @@ if [[ $run_tier1 -eq 1 ]]; then
   # their stats must come out bit-identical (sweep_main exits non-zero
   # and records false here otherwise).
   grep -q '"stats_bit_identical": true' build/BENCH_sweep_fresh.json
+  # The default transport must actually be the mapped one, and the perf
+  # summary must carry its warm_mmap section (gated below).
+  grep -q '"bundle_mode": "mmap"' build/BENCH_sweep_fresh.json
+  grep -q '"warm_mmap"' build/BENCH_sweep_fresh.json
+
+  echo "==> bundle transports: mmap load must beat fread by >=10x"
+  # Same bundle, forced owning-fread transport: identical replay, but the
+  # load phase pays a full copy + eager checksums. The mapped path's
+  # header-only validation must undercut it by at least an order of
+  # magnitude (that is the point of bundle format v3).
+  ./build/bench/sweep_main --spec smoke --threads 1 --format json \
+    --bundle-mode fread --trace-bundle build/smoke.traces \
+    --out /dev/null --perf-out build/BENCH_sweep_fread.json
+  grep -q '"bundle_mode": "fread"' build/BENCH_sweep_fread.json
+  get_load() {
+    awk -F': ' '/"bundle_load_seconds"/ { gsub(/,/, "", $2); print $2; exit }' \
+      "$1"
+  }
+  mmap_load=$(get_load build/BENCH_sweep_fresh.json)
+  fread_load=$(get_load build/BENCH_sweep_fread.json)
+  echo "    bundle load: mmap ${mmap_load}s, fread ${fread_load}s"
+  if [[ "${STAGEDCMP_SKIP_PERF_GATE:-0}" != "1" ]]; then
+    if ! awk -v m="$mmap_load" -v f="$fread_load" \
+         'BEGIN { exit (m > 0 && f >= 10 * m) ? 0 : 1 }'; then
+      echo "FAIL: mmap bundle load (${mmap_load}s) is not >=10x faster" \
+           "than fread (${fread_load}s)" >&2
+      exit 1
+    fi
+  fi
+
+  echo "==> sharded execution: warm-mmap shards + merge, full metrics"
+  # Every run below replays the SAME mapped bundle, so the merge must
+  # reproduce the unsharded run's full deterministic JSON — simulated
+  # metrics included — byte for byte (shard files passed out of order).
+  ./build/bench/sweep_main --spec smoke --threads 4 --format json \
+    --deterministic --trace-bundle build/smoke.traces \
+    --out build/sweep_smoke_warm_det.json
+  ./build/bench/sweep_main --spec smoke --threads 4 --shard 0/2 \
+    --trace-bundle build/smoke.traces \
+    --metrics-out build/smoke_shard_metrics.json \
+    --out build/smoke_warm_shard0.json
+  ./build/bench/sweep_main --spec smoke --threads 4 --shard 1/2 \
+    --trace-bundle build/smoke.traces \
+    --out build/smoke_warm_shard1.json
+  ./build/bench/sweep_main --merge build/sweep_smoke_warm_merged.json \
+    build/smoke_warm_shard1.json build/smoke_warm_shard0.json --format json
+  diff -u build/sweep_smoke_warm_det.json build/sweep_smoke_warm_merged.json
+  # Shard bookkeeping: assigned + skipped must cover the whole grid.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+c = json.load(open("build/smoke_shard_metrics.json"))["counters"]
+cells = len(json.load(open("build/sweep_smoke_warm_det.json"))["cells"])
+a, s = c["shard.cells_assigned"], c["shard.cells_skipped"]
+assert a + s == cells, f"shard counters {a}+{s} != {cells} cells"
+assert 0 < a < cells, f"shard 0/2 claimed {a} of {cells} cells"
+print(f"    shard counters OK ({a} assigned + {s} skipped = {cells})")
+EOF
+  else
+    echo "    python3 not found; skipping shard counter cross-checks"
+  fi
 
   echo "==> observability: metrics + span timeline on a warm smoke run"
   # Golden bytes must be oblivious to observability: the run below turns
@@ -206,11 +306,33 @@ EOF
     --out build/sweep_skew_golden_t8.json
   diff -u tests/golden/sweep_skew.json build/sweep_skew_golden_t8.json
   # Warm replay from the bundle reproduces the same golden bytes: the
-  # traffic knobs round-trip through the v2 bundle header.
+  # traffic knobs round-trip through the bundle header.
   ./build/bench/sweep_main --spec skew --threads 8 --golden \
     --trace-bundle build/skew.traces \
     --out build/sweep_skew_warm.json
   diff -u tests/golden/sweep_skew.json build/sweep_skew_warm.json
+
+  echo "==> sharded execution: skew grid, cold golden + warm full metrics"
+  # Same two-pass discipline as the smoke grid, over the shaped-traffic
+  # specs: cold shards reassemble the committed golden; warm shards off
+  # one mapped bundle reassemble the unsharded deterministic bytes.
+  ./build/bench/sweep_main --spec skew --threads 4 --shard 0/2 \
+    --out build/skew_shard0.json
+  ./build/bench/sweep_main --spec skew --threads 4 --shard 1/2 \
+    --out build/skew_shard1.json
+  ./build/bench/sweep_main --merge build/sweep_skew_merged_golden.json \
+    build/skew_shard0.json build/skew_shard1.json --golden
+  diff -u tests/golden/sweep_skew.json build/sweep_skew_merged_golden.json
+  ./build/bench/sweep_main --spec skew --threads 4 --format json \
+    --deterministic --trace-bundle build/skew.traces \
+    --out build/sweep_skew_warm_det.json
+  ./build/bench/sweep_main --spec skew --threads 4 --shard 0/2 \
+    --trace-bundle build/skew.traces --out build/skew_warm_shard0.json
+  ./build/bench/sweep_main --spec skew --threads 4 --shard 1/2 \
+    --trace-bundle build/skew.traces --out build/skew_warm_shard1.json
+  ./build/bench/sweep_main --merge build/sweep_skew_warm_merged.json \
+    build/skew_warm_shard0.json build/skew_warm_shard1.json --format json
+  diff -u build/sweep_skew_warm_det.json build/sweep_skew_warm_merged.json
   # Shaper/driver observability: a COLD run must surface the traffic.*
   # and ycsb.* counter families (warm runs build nothing, so they are
   # absent there by design).
@@ -251,15 +373,23 @@ EOF
   # numbers. The warm gate watches replay throughput; the cold gate's
   # wall clock is end-to-end and so also covers trace GENERATION — a
   # build-path slowdown that the warm gate is blind to trips it.
-  get_cps() {
-    awk -F': ' '/"cells_per_second"/ { gsub(/,/, "", $2); print $2; exit }' \
-      "$1"
+  get_cps() {  # get_cps FILE [SECTION] — first cells_per_second, or the
+               # first one after SECTION's key (e.g. warm_mmap)
+    if [[ -n "${2:-}" ]]; then
+      awk -F': ' -v sec="\"$2\"" \
+        'index($0, sec) { inw = 1 }
+         inw && /"cells_per_second"/ { gsub(/,/, "", $2); print $2; exit }' \
+        "$1"
+    else
+      awk -F': ' '/"cells_per_second"/ { gsub(/,/, "", $2); print $2; exit }' \
+        "$1"
+    fi
   }
-  gate_cps() {  # gate_cps LABEL BASELINE_FILE FRESH_FILE
-    local label="$1" baseline_file="$2" fresh_file="$3"
+  gate_cps() {  # gate_cps LABEL BASELINE_FILE FRESH_FILE [SECTION]
+    local label="$1" baseline_file="$2" fresh_file="$3" section="${4:-}"
     local baseline fresh
-    baseline=$(get_cps "$baseline_file")
-    fresh=$(get_cps "$fresh_file")
+    baseline=$(get_cps "$baseline_file" "$section")
+    fresh=$(get_cps "$fresh_file" "$section")
     if [[ -z "$baseline" || -z "$fresh" ]]; then
       # An unparsable side must fail loudly: awk would treat "" as 0 and
       # silently disable the gate forever.
@@ -289,6 +419,7 @@ EOF
     fi
   }
   gate_cps warm BENCH_sweep.json build/BENCH_sweep_fresh.json
+  gate_cps warm_mmap BENCH_sweep.json build/BENCH_sweep_fresh.json warm_mmap
   gate_cps cold BENCH_sweep_cold.json build/BENCH_sweep_cold_fresh.json
   cat build/BENCH_sweep_fresh.json
 fi

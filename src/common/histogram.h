@@ -73,6 +73,14 @@ class LogHistogram {
     sum_ += other.sum_;
   }
 
+  /// Restores an aggregate recorded elsewhere. Count/sum only — bucket
+  /// detail is not transported — which is exactly what the sweep shard
+  /// files carry (sinks read mean() alone). sweep/shard.cc merge path.
+  void RestoreAggregate(uint64_t count, uint64_t sum) {
+    count_ = count;
+    sum_ = sum;
+  }
+
   /// Approximate quantile from bucket boundaries (upper bound of bucket).
   uint64_t Quantile(double q) const {
     if (count_ == 0) return 0;

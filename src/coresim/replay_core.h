@@ -63,9 +63,9 @@ class ReplayEngine {
         for (Context& ctx : c.ctx) {
           if (ctx.client_ids.empty()) continue;
           const trace::ClientTrace* tr = clients_[ctx.client_ids[0]];
-          if (!tr->events.empty()) {
+          if (!tr->empty()) {
             ctx.pos = (static_cast<size_t>(ctx.client_ids[0]) * 2654435761u) %
-                      tr->events.size();
+                      tr->events_size();
           }
         }
       }
@@ -248,7 +248,7 @@ class ReplayEngine {
     while (true) {
       if (ctx.client_ids.empty() || ctx.finished) return false;
       const trace::ClientTrace* tr = clients_[ctx.client_ids[ctx.cur_client]];
-      if (ctx.pos >= tr->events.size()) {
+      if (ctx.pos >= tr->events_size()) {
         // Client drained: rotate to the next client on this context.
         if (config_.loop_traces) {
           ctx.cur_client = (ctx.cur_client + 1) % ctx.client_ids.size();
@@ -266,7 +266,7 @@ class ReplayEngine {
         ctx.finished = true;
         return false;
       }
-      const uint64_t ev = tr->events[ctx.pos++];
+      const uint64_t ev = tr->events_data()[ctx.pos++];
       ++events_replayed_;
       const EventKind kind = trace::UnpackKind(ev);
       switch (kind) {

@@ -57,6 +57,13 @@ struct TraceSet {
   /// Multi-tenant boundary: 0 for single-tenant sets; else traces
   /// [0, tenant_a_clients) belong to tenant A and the rest to tenant B.
   uint32_t tenant_a_clients = 0;
+  /// Keep-alive for externally owned event storage. A trace set served
+  /// from a mapped bundle stores view-based ClientTraces whose bytes live
+  /// in the mapping; `backing` pins that mapping (type-erased so the
+  /// harness layer stays independent of the sweep's bundle machinery).
+  /// Destroying the last TraceSet sharing a mapping unmaps it. Empty for
+  /// owning (cold-built or fread-loaded) sets.
+  std::shared_ptr<void> backing;
 
   /// Per-client trace pointers in client order. Cached: rebuilding the
   /// vector on every RunExperiment call was a measurable allocation when

@@ -111,10 +111,28 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
 
   std::vector<Cell> cells = spec.Expand();
   report.cells.resize(cells.size());
+  // Every slot carries its cell identity up front — workers fill only
+  // the cells they execute, and a sharded run's unassigned slots must
+  // still describe their cell (the shard writer fingerprints the whole
+  // grid; see sweep/shard.h).
+  for (size_t i = 0; i < cells.size(); ++i) report.cells[i].cell = cells[i];
 
   TraceSetCache private_cache(factory_, options_.metrics);
   TraceSetCache& cache = shared_cache_ ? *shared_cache_ : private_cache;
   const uint64_t builds_before = cache.stats().builds;
+
+  // Sharding: the FULL spec is always expanded and deduplicated, so
+  // canonical cell indices and the distinct-config (= bundle build)
+  // sequence are identical for every shard and for an unsharded run.
+  // A shard then only *executes* its assigned cells, and only
+  // builds/loads the trace sets those cells reference.
+  const bool sharded = options_.shard_count > 1;
+  const auto cell_assigned = [&](size_t i) {
+    return !sharded ||
+           i % options_.shard_count == options_.shard_index;
+  };
+  report.shard_index = sharded ? options_.shard_index : 0;
+  report.shard_count = sharded ? options_.shard_count : 0;
 
   std::vector<size_t> cfg_of;  // cell index -> distinct-config index
   std::vector<harness::TraceSetConfig> distinct =
@@ -124,20 +142,58 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
   for (const harness::TraceSetConfig& c : distinct) {
     cfg_labels.push_back(ConfigLabel(c));
   }
+  std::vector<char> needed(distinct.size(), sharded ? 0 : 1);
+  size_t assigned_count = 0;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (!cell_assigned(i)) continue;
+    ++assigned_count;
+    needed[cfg_of[i]] = 1;
+  }
+  if (options_.metrics != nullptr && sharded) {
+    options_.metrics->counter("shard.cells_assigned")
+        .Add(static_cast<uint64_t>(assigned_count));
+    options_.metrics->counter("shard.cells_skipped")
+        .Add(static_cast<uint64_t>(cells.size() - assigned_count));
+  }
 
-  // Trace bundle: try to serve the whole build sequence from disk.
+  // Trace bundle: try to serve the whole build sequence from disk. The
+  // mmap transport returns view-based sets after header validation only
+  // (microseconds); their payload checksums are verified lazily below,
+  // on the build pool, overlapped with simulation. The fread transport
+  // returns fully-verified owning sets, inserted here.
+  BundleOpenResult bundle_open;
+  std::vector<char> lazy_verify(distinct.size(), 0);
+  std::atomic<bool> demoted{false};
   if (!options_.trace_bundle.empty() && !cells.empty()) {
     const auto load_t0 = std::chrono::steady_clock::now();
     TraceSpan load_span(tracer, "io", "bundle.load");
-    std::vector<harness::TraceSet> loaded;
-    if (LoadTraceBundle(options_.trace_bundle, *factory_, distinct,
-                        &loaded)) {
-      for (harness::TraceSet& ts : loaded) cache.Insert(std::move(ts));
+    bundle_open =
+        OpenTraceBundle(options_.trace_bundle, *factory_, distinct, &needed,
+                        options_.bundle_mode == "fread");
+    report.bundle_mode = bundle_open.mode;
+    if (bundle_open.mode == "mmap") {
       report.bundle = "warm";
+      report.bundle_bytes_mapped = bundle_open.bytes_mapped;
+      report.bundle_map_us = bundle_open.map_us;
+      for (size_t j = 0; j < distinct.size(); ++j) {
+        if (needed[j]) lazy_verify[j] = 1;
+      }
+    } else if (bundle_open.mode == "fread") {
+      report.bundle = "warm";
+      for (size_t j = 0; j < distinct.size(); ++j) {
+        if (needed[j]) cache.Insert(std::move(bundle_open.sets[j]));
+      }
     } else {
       report.bundle = "cold";
     }
-    load_span.set_args("{\"result\": \"" + report.bundle + "\"}");
+    if (options_.metrics != nullptr) {
+      options_.metrics->gauge("bundle.map_us")
+          .Set(static_cast<int64_t>(report.bundle_map_us));
+      options_.metrics->gauge("bundle.bytes_mapped")
+          .Set(static_cast<int64_t>(report.bundle_bytes_mapped));
+    }
+    load_span.set_args("{\"result\": \"" + report.bundle +
+                       "\", \"mode\": \"" + report.bundle_mode + "\"}");
     load_span.End();
     report.load_wall_seconds = SecondsSince(load_t0);
   }
@@ -180,7 +236,21 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
     // deterministic even though durations are not.
     TraceSpan build_span(tracer, "build", "build:" + cfg_labels[j]);
     try {
-      const harness::TraceSet* ts = &cache.Get(distinct[j]);
+      const harness::TraceSet* ts = nullptr;
+      if (lazy_verify[j]) {
+        // Mapped set: pay the payload-checksum pass here, overlapped
+        // with other builds and with simulation. A mismatch demotes
+        // exactly this set to a cold rebuild; the run is then "partial"
+        // and rewrites the bundle afterwards.
+        if (VerifyBundleSet(bundle_open.sets[j], bundle_open.checksums[j])) {
+          ts = &cache.Insert(std::move(bundle_open.sets[j]));
+        } else {
+          demoted.store(true, std::memory_order_relaxed);
+          ts = &cache.Get(distinct[j]);
+        }
+      } else {
+        ts = &cache.Get(distinct[j]);
+      }
       std::lock_guard<std::mutex> lock(build_mu);
       built_sets[j] = ts;
     } catch (...) {
@@ -202,6 +272,7 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
     while (true) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= cells.size()) break;
+      if (!cell_assigned(i)) continue;  // another shard's cell
       ++claimed;
       const size_t j = cfg_of[i];
       {
@@ -249,7 +320,7 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
     // "Steals": cells this worker claimed beyond the even share — how
     // much the atomic-counter claiming rebalanced versus a static split.
     if (steals != nullptr && threads > 0) {
-      const uint64_t share = cells.size() / threads;
+      const uint64_t share = assigned_count / threads;
       if (claimed > share) steals->Add(claimed - share);
     }
   };
@@ -264,6 +335,9 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
     std::vector<std::future<void>> build_futures;
     build_futures.reserve(distinct.size());
     for (size_t j = 0; j < distinct.size(); ++j) {
+      // Sharded runs submit no build for configs none of their cells
+      // reference; no assigned cell waits on those slots either.
+      if (!needed[j]) continue;
       build_futures.push_back(build_pool.Submit([&build_one, j] {
         build_one(j);
       }));
@@ -280,10 +354,16 @@ SweepReport SweepRunner::Run(const SweepSpec& spec) {
   }
   report.sim_wall_seconds = SecondsSince(sim_t0);
   report.trace_sets_built = cache.stats().builds - builds_before;
+  if (demoted.load(std::memory_order_relaxed)) report.bundle = "partial";
 
   // A cold run with a bundle path persists what it just built (every
-  // Get() below is a cache hit; nothing rebuilds).
-  if (report.bundle == "cold" && !first_error) {
+  // Get() below is a cache hit; nothing rebuilds). A "partial" run —
+  // mapped sets served but at least one failed lazy verification and
+  // rebuilt cold — rewrites too, healing the corrupt file: rename keeps
+  // the mapped inode alive, so still-live views are unaffected. Sharded
+  // runs never write (they only built a subset of the sequence).
+  if ((report.bundle == "cold" || report.bundle == "partial") && !sharded &&
+      !first_error) {
     TraceSpan save_span(tracer, "io", "bundle.save");
     std::vector<const harness::TraceSet*> sets;
     sets.reserve(distinct.size());

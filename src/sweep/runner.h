@@ -46,10 +46,25 @@ struct RunnerOptions {
   /// hardware concurrency.
   uint32_t threads = 0;
   /// Optional trace-bundle file (see trace_bundle.h). When set, the run
-  /// loads its trace sets from this file if it matches the sweep's
+  /// serves its trace sets from this file if it matches the sweep's
   /// canonical build sequence (warm: no generation at all) and rewrites
-  /// it after a cold build. Empty = no persistence.
+  /// it after a cold build. The default transport maps the file and
+  /// replays events in place (payload checksums verified lazily on the
+  /// build pool); map failure demotes to the owning fread path and any
+  /// mismatch to a cold rebuild. Empty = no persistence.
   std::string trace_bundle;
+  /// Bundle transport override: "auto" (mmap, demoting to fread) or
+  /// "fread" (skip the mmap attempt — measurement and fallback testing).
+  std::string bundle_mode = "auto";
+  /// Shard selection: when shard_count > 1, the runner expands the FULL
+  /// spec (so canonical indices and the bundle's build sequence are
+  /// unchanged) but simulates only cells with
+  /// index % shard_count == shard_index, and builds/loads only the trace
+  /// sets those cells need. Unassigned CellResult slots stay
+  /// default-constructed; sharded runs never write the bundle. 0 or 1 =
+  /// unsharded.
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 0;
   /// Optional observability sinks (docs/OBSERVABILITY.md). `metrics`
   /// collects `sweep.*` counters/histograms plus the build pool's
   /// `build_pool.*` and the replay engine's `replay.*` families; it is
@@ -85,8 +100,19 @@ struct SweepReport {
   double wall_seconds = 0.0;       ///< end-to-end Run() wall-clock
   uint64_t trace_sets_built = 0;   ///< distinct TraceSetConfigs built
   /// Trace-bundle disposition: "off" (no bundle configured), "cold"
-  /// (built fresh, bundle written), "warm" (all sets loaded from disk).
+  /// (built fresh, bundle written), "warm" (all sets served from disk),
+  /// "partial" (mapped sets served but at least one failed its lazy
+  /// payload verification and was rebuilt cold; the bundle is rewritten).
   std::string bundle = "off";
+  /// Transport that served the bundle: "off", "cold" (nothing served),
+  /// "fread" (owning copies, eagerly verified), "mmap" (zero-copy views
+  /// into the mapping, lazily verified).
+  std::string bundle_mode = "off";
+  uint64_t bundle_bytes_mapped = 0;  ///< mmap: whole-file mapping size
+  uint64_t bundle_map_us = 0;        ///< mmap: open+validate wall time
+  /// Echo of RunnerOptions shard selection (0/0 when unsharded).
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 0;
   std::vector<CellResult> cells;
   /// Registry state at the end of Run(), when RunnerOptions::metrics was
   /// set (cumulative if the registry is shared across runs). Sinks use

@@ -1,0 +1,66 @@
+// Sharded sweep execution: result-file writer + byte-identical merge.
+//
+// A sharded sweep splits one grid across N independent processes:
+// `sweep_main --shard i/N` expands the FULL spec (canonical indices and
+// the bundle's build sequence are unchanged), executes only cells with
+// canonical_index % N == i, and writes a shard result file. The files
+// are then reassembled with `sweep_main --merge out shard0 shard1 …`,
+// whose output is byte-identical to the same sink run unsharded — the
+// property every determinism guarantee of the sweep engine extends to.
+//
+// A shard file is JSON, keyed by canonical cell index plus a full echo
+// of each cell's resolved config (the JsonSink "config" object,
+// EmitCellConfigJson). It carries every field the sinks read — raw
+// SimResult state incl. the cycle breakdown, hierarchy counters,
+// queue-delay aggregate and tenant attribution, all doubles as %.17g
+// (round-trip exact) — so the merged report reconstructs bit-identical
+// sink input, not a lossy summary.
+//
+// Merge validation is strict; any failure rejects the whole merge:
+//   * every file carries the same spec name, shard_count, cell count
+//     and spec fingerprint (a hash of the expanded grid: axis names,
+//     values, full cell configs) — shard files from a different spec,
+//     scale, or binary vintage are rejected;
+//   * shard indices are distinct and complete (overlap and missing
+//     shards are both errors), every cell lands in the shard its index
+//     assigns it to, and each expanded cell appears exactly once;
+//   * each cell's config echo must equal the re-expanded cell's config
+//     serialization field for field.
+//
+// Determinism caveat (same taxonomy as sinks.h): merged FULL metrics
+// are byte-identical to an unsharded run when both replayed the same
+// trace bytes — i.e. warm runs served from one bundle. Cold shards
+// build traces in fresh processes, so cross-check those in golden mode.
+#ifndef STAGEDCMP_SWEEP_SHARD_H_
+#define STAGEDCMP_SWEEP_SHARD_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sweep/runner.h"
+#include "sweep/spec.h"
+
+namespace stagedcmp::sweep {
+
+/// Writes the shard result file for `report`, which must come from a
+/// SweepRunner executed with shard_count > 1 (report.shard_count echoes
+/// it). Only the report's assigned cells are written.
+void WriteShardFile(const SweepReport& report, std::ostream& os);
+
+/// Merges shard file contents (`shard_texts`, one per shard, any order)
+/// for `spec` into a reconstructed report in canonical cell order. On
+/// success returns true; on any validation failure returns false with a
+/// one-line reason in `*error` and `*out` unspecified. The merged
+/// report carries no timing/threads (emit it timing-free).
+bool MergeShardReports(const SweepSpec& spec,
+                       const std::vector<std::string>& shard_texts,
+                       SweepReport* out, std::string* error);
+
+/// Reads the "spec" field of one shard file so a driver can resolve the
+/// spec before merging. False if `text` is not a shard file.
+bool PeekShardSpecName(const std::string& text, std::string* name);
+
+}  // namespace stagedcmp::sweep
+
+#endif  // STAGEDCMP_SWEEP_SHARD_H_

@@ -81,6 +81,12 @@ class CsvSink : public ResultSink {
   bool golden_;
 };
 
+/// Emits one cell's resolved-config JSON object — the "config" field of
+/// JsonSink output. Shared with the shard writer (sweep/shard.cc), which
+/// echoes it into shard files so a merge can validate each cell against
+/// the re-expanded spec and reproduce sink output byte-identically.
+void EmitCellConfigJson(const CellResult& cr, std::ostream& os, int indent);
+
 /// An extra top-level section appended to the perf summary: `raw_json`
 /// is emitted verbatim as the value of `key` (callers own indentation —
 /// two-space base, like the built-in sections).

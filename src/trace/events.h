@@ -69,16 +69,41 @@ inline bool UnpackDependent(uint64_t e) {
 }
 
 /// One client's recorded execution: a replayable stream of events.
+///
+/// The event stream has two representations behind one accessor pair:
+/// the tracer and cold builds fill the owning `events` vector, while a
+/// warm mmap'd bundle load points `view_data`/`view_size` at the mapped
+/// region instead (zero copy; the mapping's lifetime is pinned by the
+/// enclosing TraceSet's `backing` handle). Consumers must go through
+/// `events_data()`/`events_size()` so both paths replay identically.
 struct ClientTrace {
   std::vector<uint64_t> events;
+  const uint64_t* view_data = nullptr;  ///< non-owning; wins over `events`
+  uint64_t view_size = 0;
   uint64_t total_instructions = 0;
   uint32_t requests = 0;  ///< number of kMarker events
+
+  const uint64_t* events_data() const {
+    return view_data != nullptr ? view_data : events.data();
+  }
+  uint64_t events_size() const {
+    return view_data != nullptr ? view_size : events.size();
+  }
+  /// Points the trace at an externally owned event array (e.g. a mapped
+  /// bundle region). The caller guarantees the storage outlives the trace.
+  void SetView(const uint64_t* data, uint64_t size) {
+    events.clear();
+    view_data = data;
+    view_size = size;
+  }
 
   /// Empties the trace but keeps the event buffer's capacity — the right
   /// call when the same ClientTrace is about to be refilled (Tracer::Reset
   /// between recordings).
   void Clear() {
     events.clear();
+    view_data = nullptr;
+    view_size = 0;
     total_instructions = 0;
     requests = 0;
   }
@@ -87,10 +112,12 @@ struct ClientTrace {
   /// memory instead of holding peak capacity.
   void Release() {
     std::vector<uint64_t>().swap(events);
+    view_data = nullptr;
+    view_size = 0;
     total_instructions = 0;
     requests = 0;
   }
-  bool empty() const { return events.empty(); }
+  bool empty() const { return events_size() == 0; }
 };
 
 }  // namespace stagedcmp::trace

@@ -358,16 +358,18 @@ TEST(TraceBundle, SaveThenLoadRoundTripsEveryEvent) {
     trunc.close();
     EXPECT_FALSE(sweep::LoadTraceBundle(path, factory, {cfg}, &loaded));
 
-    // Restore, then blow up the per-client event count (it lives after
-    // the header+config+set preamble; stomping a mid-file word with
-    // 2^62 must hit *some* length or payload check, not vector::resize).
+    // Restore, then blow up trace 0's in-band event count (v3 header:
+    // 2 magic/version + 22 scale + 1 n_sets + 14 config + 2 totals +
+    // 1 n_traces = word 42 starts the index rows; n_events is row word
+    // 2). Stomping it with 2^62 must hit the header checksum or a
+    // length bound, not vector::resize.
     std::ofstream rewrite(path, std::ios::binary | std::ios::trunc);
     rewrite.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     rewrite.close();
     std::fstream stomp(path,
                        std::ios::binary | std::ios::in | std::ios::out);
     const uint64_t huge = 1ull << 62;
-    stomp.seekp(26 * 8);  // first length-bearing region after the header
+    stomp.seekp(44 * 8);
     stomp.write(reinterpret_cast<const char*>(&huge), 8);
     stomp.close();
     EXPECT_FALSE(sweep::LoadTraceBundle(path, factory, {cfg}, &loaded));
@@ -387,6 +389,149 @@ TEST(TraceBundle, SaveThenLoadRoundTripsEveryEvent) {
     flip.close();
     EXPECT_FALSE(sweep::LoadTraceBundle(path, factory, {cfg}, &loaded));
   }
+}
+
+// One small built set plus its bundle on disk, shared by the transport
+// tests below.
+struct BundleFixture {
+  harness::WorkloadFactory factory;
+  harness::TraceSetConfig cfg;
+  harness::TraceSet built;
+  std::string path;
+
+  explicit BundleFixture(const char* name) {
+    cfg.workload = harness::WorkloadKind::kOltp;
+    cfg.clients = 2;
+    cfg.requests_per_client = 2;
+    cfg.seed = 23;
+    built = factory.Build(cfg);
+    path = ::testing::TempDir() + name;
+    EXPECT_TRUE(sweep::SaveTraceBundle(path, factory, {&built}));
+  }
+  ~BundleFixture() { std::remove(path.c_str()); }
+};
+
+TEST(TraceBundle, MmapServesZeroCopyViewsVerifiedLazily) {
+  BundleFixture fx("bundle_mmap.traces");
+  sweep::BundleOpenResult r =
+      sweep::OpenTraceBundle(fx.path, fx.factory, {fx.cfg});
+  ASSERT_EQ(r.mode, "mmap");
+  EXPECT_GT(r.bytes_mapped, 0u);
+  ASSERT_EQ(r.sets.size(), 1u);
+  ASSERT_EQ(r.checksums.size(), 1u);
+  ASSERT_EQ(r.sets[0].traces.size(), fx.built.traces.size());
+  for (size_t i = 0; i < fx.built.traces.size(); ++i) {
+    const trace::ClientTrace& t = r.sets[0].traces[i];
+    // Zero-copy: events live in the mapping, not in an owning vector.
+    EXPECT_NE(t.view_data, nullptr);
+    EXPECT_TRUE(t.events.empty());
+    ASSERT_EQ(t.events_size(), fx.built.traces[i].events.size());
+    EXPECT_EQ(std::vector<uint64_t>(t.events_data(),
+                                    t.events_data() + t.events_size()),
+              fx.built.traces[i].events);
+  }
+  // The mapping is pinned by the set's backing keep-alive.
+  EXPECT_NE(r.sets[0].backing, nullptr);
+  // Lazy payload verification passes on the untouched file.
+  EXPECT_TRUE(sweep::VerifyBundleSet(r.sets[0], r.checksums[0]));
+}
+
+TEST(TraceBundle, MapFailureHookDemotesToFread) {
+  BundleFixture fx("bundle_demote.traces");
+  sweep::bundle_testing::force_mmap_failure.store(true);
+  sweep::BundleOpenResult r =
+      sweep::OpenTraceBundle(fx.path, fx.factory, {fx.cfg});
+  sweep::bundle_testing::force_mmap_failure.store(false);
+  ASSERT_EQ(r.mode, "fread");
+  ASSERT_EQ(r.sets.size(), 1u);
+  ASSERT_EQ(r.sets[0].traces.size(), fx.built.traces.size());
+  for (size_t i = 0; i < fx.built.traces.size(); ++i) {
+    // Owning copies, already verified — and the same bytes either way.
+    EXPECT_EQ(r.sets[0].traces[i].view_data, nullptr);
+    EXPECT_EQ(r.sets[0].traces[i].events, fx.built.traces[i].events);
+  }
+  EXPECT_EQ(r.sets[0].backing, nullptr);
+}
+
+TEST(TraceBundle, WrongVersionOrTruncationDemotesToCold) {
+  BundleFixture fx("bundle_cold.traces");
+  std::ifstream in(fx.path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+
+  // A v2 bundle (or any other version word) must rebuild cold.
+  {
+    std::fstream stomp(fx.path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+    const uint64_t v2 = 2;
+    stomp.seekp(8);  // word 1: format version
+    stomp.write(reinterpret_cast<const char*>(&v2), 8);
+  }
+  EXPECT_EQ(sweep::OpenTraceBundle(fx.path, fx.factory, {fx.cfg}).mode,
+            "cold");
+
+  // Truncation demotes to cold on both transports.
+  {
+    std::ofstream trunc(fx.path, std::ios::binary | std::ios::trunc);
+    trunc.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size() - 8));
+  }
+  EXPECT_EQ(sweep::OpenTraceBundle(fx.path, fx.factory, {fx.cfg}).mode,
+            "cold");
+  EXPECT_EQ(sweep::OpenTraceBundle(fx.path, fx.factory, {fx.cfg}, nullptr,
+                                   /*force_fread=*/true)
+                .mode,
+            "cold");
+}
+
+TEST(TraceBundle, FlippedPayloadWordCaughtLazilyAndEagerly) {
+  BundleFixture fx("bundle_flip.traces");
+  // Flip one bit in trace 0's first payload word. The payload region
+  // starts at the 64-byte-aligned end of the header; rather than
+  // recompute it, read the recorded offset from index row 0 (header
+  // word 42 starts the rows; offset_bytes is row word 3).
+  uint64_t offset = 0;
+  {
+    std::fstream f(fx.path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg((42 + 3) * 8);
+    f.read(reinterpret_cast<char*>(&offset), 8);
+    uint64_t w = 0;
+    f.seekg(static_cast<std::streamoff>(offset));
+    f.read(reinterpret_cast<char*>(&w), 8);
+    w ^= 1ull << 40;
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(reinterpret_cast<const char*>(&w), 8);
+  }
+  // mmap: the header still validates (payloads are not part of the
+  // header checksum) so the open succeeds — the corruption surfaces in
+  // the per-set lazy verification.
+  sweep::BundleOpenResult r =
+      sweep::OpenTraceBundle(fx.path, fx.factory, {fx.cfg});
+  ASSERT_EQ(r.mode, "mmap");
+  EXPECT_FALSE(sweep::VerifyBundleSet(r.sets[0], r.checksums[0]));
+  // fread verifies eagerly: the whole open demotes to cold.
+  EXPECT_EQ(sweep::OpenTraceBundle(fx.path, fx.factory, {fx.cfg}, nullptr,
+                                   /*force_fread=*/true)
+                .mode,
+            "cold");
+}
+
+TEST(TraceBundle, FileBytesSurvivesPastTwoGiB) {
+  // Regression for the ftell-into-long truncation: sizes past 2^31 must
+  // come back exact. Sparse file — no real disk is consumed.
+  const std::string path = ::testing::TempDir() + "bundle_sparse.bin";
+  const int64_t size = (int64_t{1} << 31) + (int64_t{1} << 29) + 4096;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(fseeko(f, size - 1, SEEK_SET), 0);
+    std::fputc(0, f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(sweep::BundleFileBytes(path), size);
+  std::remove(path.c_str());
+  EXPECT_LT(sweep::BundleFileBytes(path), 0);  // missing file: negative
 }
 
 TEST(TraceBundle, WarmSweepReplaysBitIdenticalToColdSweep) {
@@ -425,6 +570,107 @@ TEST(TraceBundle, WarmSweepReplaysBitIdenticalToColdSweep) {
   };
   EXPECT_EQ(to_json(cold), to_json(warm));
   std::remove(path.c_str());
+}
+
+TEST(TraceBundle, LazyMismatchRebuildsColdAndReportsPartial) {
+  const std::string path = ::testing::TempDir() + "bundle_partial.traces";
+  std::remove(path.c_str());
+  auto run = [&](harness::WorkloadFactory* factory) {
+    sweep::RunnerOptions options;
+    options.threads = 1;
+    options.trace_bundle = path;
+    sweep::SweepRunner runner(factory, options);
+    return runner.Run(TinySpec());
+  };
+  harness::WorkloadFactory f1, f2, f3;
+  const sweep::SweepReport cold = run(&f1);
+  ASSERT_EQ(cold.bundle, "cold");
+
+  // Corrupt set 0's first payload word (offset read from index row 0 —
+  // header word 42 starts the rows, offset_bytes is row word 3). The
+  // mmap open still succeeds; only the lazy per-set verification on the
+  // build pool notices, rebuilds that set cold, and flags the run.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    uint64_t offset = 0;
+    f.seekg((42 + 3) * 8);
+    f.read(reinterpret_cast<char*>(&offset), 8);
+    uint64_t w = 0;
+    f.seekg(static_cast<std::streamoff>(offset));
+    f.read(reinterpret_cast<char*>(&w), 8);
+    w ^= 1ull << 40;
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(reinterpret_cast<const char*>(&w), 8);
+  }
+  const sweep::SweepReport partial = run(&f2);
+  EXPECT_EQ(partial.bundle, "partial");
+  EXPECT_GT(partial.trace_sets_built, 0u);  // the bad set rebuilt cold
+  auto golden = [](const sweep::SweepReport& r) {
+    std::ostringstream os;
+    sweep::JsonSink(/*include_timing=*/false, /*golden=*/true).Emit(r, os);
+    return os.str();
+  };
+  EXPECT_EQ(golden(cold), golden(partial));
+
+  // The partial run rewrote the bundle, so the next run is fully warm.
+  const sweep::SweepReport warm = run(&f3);
+  EXPECT_EQ(warm.bundle, "warm");
+  EXPECT_EQ(warm.trace_sets_built, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SweepRunner, ShardedRunExecutesAssignedCellsAndSkipsForeignBuilds) {
+  // Workload as the LAST axis, so it alternates with cell parity: shard
+  // 0/2 only ever needs OLTP traces and must not build the DSS set.
+  sweep::SweepSpec spec("shardtest");
+  spec.base_exp.cores = 2;
+  spec.base_exp.l2_bytes = 1ull << 20;
+  spec.base_exp.measure_instructions = 400'000;
+  spec.base_exp.warmup_instructions = 100'000;
+  spec.AddAxis(
+      "camp",
+      {{"FC", [](sweep::Cell& c) { c.exp.camp = coresim::Camp::kFat; }},
+       {"LC", [](sweep::Cell& c) { c.exp.camp = coresim::Camp::kLean; }}});
+  spec.AddAxis("workload",
+               {{"OLTP",
+                 [](sweep::Cell& c) {
+                   c.trace.workload = harness::WorkloadKind::kOltp;
+                   c.trace.clients = 2;
+                   c.trace.requests_per_client = 4;
+                   c.trace.seed = 5;
+                 }},
+                {"DSS",
+                 [](sweep::Cell& c) {
+                   c.trace.workload = harness::WorkloadKind::kDss;
+                   c.trace.clients = 2;
+                   c.trace.requests_per_client = 1;
+                   c.trace.seed = 5;
+                 }}});
+
+  harness::WorkloadFactory factory;
+  MetricsRegistry reg;
+  sweep::RunnerOptions options;
+  options.threads = 2;
+  options.shard_index = 0;
+  options.shard_count = 2;
+  options.metrics = &reg;
+  const sweep::SweepReport r =
+      sweep::SweepRunner(&factory, options).Run(spec);
+
+  ASSERT_EQ(r.cells.size(), 4u);  // the FULL grid is expanded
+  EXPECT_EQ(r.shard_index, 0u);
+  EXPECT_EQ(r.shard_count, 2u);
+  for (const sweep::CellResult& cr : r.cells) {
+    if (cr.cell.index % 2 == 0) {
+      EXPECT_GT(cr.result.instructions, 0u) << "cell " << cr.cell.index;
+    } else {
+      // Unassigned slots stay default-constructed.
+      EXPECT_EQ(cr.result.instructions, 0u) << "cell " << cr.cell.index;
+    }
+  }
+  EXPECT_EQ(r.trace_sets_built, 1u);  // only the OLTP set; DSS skipped
+  EXPECT_EQ(r.metrics.CounterOr("shard.cells_assigned"), 2u);
+  EXPECT_EQ(r.metrics.CounterOr("shard.cells_skipped"), 2u);
 }
 
 TEST(Observability, MetricsCrossCheckAndResultsUnperturbed) {

@@ -389,6 +389,10 @@ int main(int argc, char** argv) {
   }
 
   harness::WorkloadFactory factory;
+  // Per-spec workload-scale overrides (the large-n shootout grid shrinks
+  // TPC-H). Must happen before the factory's first Build; bundle echoes
+  // cover the scale, so a bundle built at another scale rebuilds cold.
+  sweep::ConfigureFactoryForSpec(spec_name, &factory);
   // Metrics ride along whenever any machine-readable summary wants them:
   // --metrics-out obviously, and --perf-out gets the same snapshot as
   // its "metrics" section. Observability must never perturb results

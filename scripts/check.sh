@@ -14,8 +14,11 @@
 # full deterministic bytes, for both the smoke and skew grids), checks
 # the bundle transports (mapped load must beat the owning fread load by
 # >=10x), diffs the smokesmp grid's directory and snoop-reference arms
-# byte-for-byte, and the sanitizer pass diffs the process-invariant
-# --golden JSON against tests/golden/sweep_smoke.json. An optional
+# byte-for-byte, runs the 1024-node CMP-vs-SMP shootout grid cold at
+# three thread counts plus a warm re-diff (and cross-checks the SMP
+# bus-model counters against the per-cell sweep output), and the
+# sanitizer pass diffs the process-invariant --golden JSON against
+# tests/golden/sweep_smoke.json. An optional
 # ThreadSanitizer pass races the parallel cold build under TSan.
 #
 #   scripts/check.sh              # docs + tier-1 + ASan/UBSan passes
@@ -286,6 +289,66 @@ EOF
     --trace-bundle build/smokesmp.traces \
     --out build/smokesmp_snoop.json
   diff -u build/smokesmp_directory.json build/smokesmp_snoop.json
+
+  echo "==> sweep shootout grid: cold golden (--threads 1/2/8) + warm re-diff"
+  # The CMP-vs-SMP scaling shootout runs both topologies to 1024 nodes
+  # with the SMP shared-bus occupancy model on (the queue-delay knee).
+  # Cold runs at three thread counts must agree on the committed golden
+  # bytes; the warm run re-diffs it off the bundle the 8-thread cold run
+  # wrote. The flat-latency reference arm's bytes are pinned separately:
+  # every pre-existing (<=64-node) golden above re-diffing unchanged is
+  # what proves the sharers-bitset widening and the bus-model plumbing
+  # are pure representation changes for the historical specs.
+  rm -f build/shootout.traces
+  for t in 1 2; do
+    ./build/bench/sweep_main --spec shootout --threads "$t" --golden \
+      --out "build/sweep_shootout_golden_t$t.json"
+    diff -u tests/golden/sweep_shootout.json \
+      "build/sweep_shootout_golden_t$t.json"
+  done
+  ./build/bench/sweep_main --spec shootout --threads 8 --golden \
+    --trace-bundle build/shootout.traces \
+    --out build/sweep_shootout_golden_t8.json
+  diff -u tests/golden/sweep_shootout.json build/sweep_shootout_golden_t8.json
+  ./build/bench/sweep_main --spec shootout --threads 8 --golden \
+    --trace-bundle build/shootout.traces \
+    --out build/sweep_shootout_warm.json
+  diff -u tests/golden/sweep_shootout.json build/sweep_shootout_warm.json
+
+  echo "==> bus model: registry counters vs per-cell sweep output"
+  # One warm deterministic run emits both the per-cell bus sub-objects
+  # (SMP cells only — the flat/CMP cells must not carry one) and the
+  # MetricsRegistry snapshot. The registry's bus.* counters must equal
+  # the sum over cells and the peak-queue gauge's high-water mark the max
+  # over cells — the replay engine records them per run, so a drop or a
+  # double-count shows up as a sum mismatch here.
+  ./build/bench/sweep_main --spec shootout --threads 8 --format json \
+    --deterministic --trace-bundle build/shootout.traces \
+    --metrics-out build/shootout_metrics.json \
+    --out build/sweep_shootout_det.json
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+m = json.load(open("build/shootout_metrics.json"))
+cells = json.load(open("build/sweep_shootout_det.json"))["cells"]
+bus = [c["metrics"]["bus"] for c in cells if "bus" in c["metrics"]]
+smp = [c for c in cells if c["config"]["topology"] == "smp-private"]
+assert len(bus) == len(smp) > 0, "bus sub-objects != SMP cells"
+c = m["counters"]
+g = m["gauges"]["bus.peak_queue_delay"]
+assert c["bus.transactions"] == sum(b["transactions"] for b in bus), \
+    "bus.transactions disagrees with the per-cell sum"
+assert c["bus.busy_cycles"] == sum(b["busy_cycles"] for b in bus), \
+    "bus.busy_cycles disagrees with the per-cell sum"
+assert g["peak"] == max(b["peak_queue_delay"] for b in bus), \
+    "bus.peak_queue_delay gauge peak disagrees with the per-cell max"
+assert all(b["transactions"] > 0 for b in bus), "an SMP cell saw no bus"
+print("    bus counters OK "
+      f"({len(bus)} SMP cells, {c['bus.transactions']} transactions)")
+EOF
+  else
+    echo "    python3 not found; skipping bus counter cross-checks"
+  fi
 
   echo "==> sweep skew grid: cold-determinism matrix (--threads 1/2/8)"
   # The skew grid exercises the traffic subsystem end to end: Zipfian key

@@ -1,0 +1,111 @@
+// Small fixed-width bitset for coherence sharer tracking. Both coherence
+// directories (the CMP L1 directory and the SMP private-L2 directory)
+// keep one bit per node; this type generalizes the raw u64/u32 masks they
+// used to 64..1024 nodes while keeping the exact inline hot-path shape:
+// a word array walked with ctz (`while (rest) { visit(ctz(rest));
+// rest &= rest - 1; }`), so the single-word instantiation compiles to the
+// same instructions as the old scalar mask. tests/test_bitset.cc pins the
+// semantics bit-for-bit against std::bitset and the historical u64 code.
+#ifndef STAGEDCMP_COMMON_BITSET_H_
+#define STAGEDCMP_COMMON_BITSET_H_
+
+#include <cstdint>
+
+namespace stagedcmp {
+
+template <uint32_t kBits>
+class BitSet {
+  static_assert(kBits > 0 && kBits % 64 == 0,
+                "BitSet width must be a positive multiple of 64");
+
+ public:
+  static constexpr uint32_t kWords = kBits / 64;
+  static constexpr uint32_t capacity() { return kBits; }
+
+  constexpr BitSet() = default;
+
+  void Set(uint32_t i) { w_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Reset(uint32_t i) { w_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool Test(uint32_t i) const {
+    return (w_[i >> 6] >> (i & 63)) & uint64_t{1};
+  }
+
+  void Clear() {
+    for (uint32_t w = 0; w < kWords; ++w) w_[w] = 0;
+  }
+  /// Clear() then Set(i) — "this node becomes the sole sharer".
+  void SetOnly(uint32_t i) {
+    Clear();
+    Set(i);
+  }
+
+  bool Any() const {
+    uint64_t acc = 0;
+    for (uint32_t w = 0; w < kWords; ++w) acc |= w_[w];
+    return acc != 0;
+  }
+  bool None() const { return !Any(); }
+  /// True iff any bit other than `i` is set.
+  bool AnyExcept(uint32_t i) const {
+    uint64_t acc = 0;
+    for (uint32_t w = 0; w < kWords; ++w) {
+      uint64_t v = w_[w];
+      if (w == (i >> 6)) v &= ~(uint64_t{1} << (i & 63));
+      acc |= v;
+    }
+    return acc != 0;
+  }
+
+  uint32_t Count() const {
+    uint32_t n = 0;
+    for (uint32_t w = 0; w < kWords; ++w) {
+      n += static_cast<uint32_t>(__builtin_popcountll(w_[w]));
+    }
+    return n;
+  }
+
+  /// Visits set bits in ascending index order — the same ctz walk the
+  /// directories always used, so visit order (and therefore every
+  /// order-dependent simulation outcome) is unchanged at width 64.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (uint32_t w = 0; w < kWords; ++w) {
+      uint64_t rest = w_[w];
+      while (rest != 0) {
+        fn((w << 6) + static_cast<uint32_t>(__builtin_ctzll(rest)));
+        rest &= rest - 1;
+      }
+    }
+  }
+  /// ForEachSetBit skipping index `skip` (the requesting node): the
+  /// `sharers & ~(1 << node)` peer walk, without materializing a copy.
+  template <typename Fn>
+  void ForEachSetBitExcept(uint32_t skip, Fn&& fn) const {
+    for (uint32_t w = 0; w < kWords; ++w) {
+      uint64_t rest = w_[w];
+      if (w == (skip >> 6)) rest &= ~(uint64_t{1} << (skip & 63));
+      while (rest != 0) {
+        fn((w << 6) + static_cast<uint32_t>(__builtin_ctzll(rest)));
+        rest &= rest - 1;
+      }
+    }
+  }
+
+  bool operator==(const BitSet& o) const {
+    for (uint32_t w = 0; w < kWords; ++w) {
+      if (w_[w] != o.w_[w]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const BitSet& o) const { return !(*this == o); }
+
+  /// Raw word access (tests and directed assertions only).
+  uint64_t word(uint32_t w) const { return w_[w]; }
+
+ private:
+  uint64_t w_[kWords] = {};
+};
+
+}  // namespace stagedcmp
+
+#endif  // STAGEDCMP_COMMON_BITSET_H_

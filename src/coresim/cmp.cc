@@ -75,6 +75,17 @@ SimResult CmpSimulator::Run() {
       return ReplayEngine<memsim::PrivateL2Hierarchy>(config_, h, clients_)
           .Run();
     }
+    // Wide (>64-node) instantiations used by the large-n shootout grids.
+    if (auto* h = dynamic_cast<memsim::SharedL2HierarchyWide*>(hierarchy_)) {
+      return ReplayEngine<memsim::SharedL2HierarchyWide>(config_, h, clients_)
+          .Run();
+    }
+    if (auto* h =
+            dynamic_cast<memsim::PrivateL2HierarchyWide*>(hierarchy_)) {
+      return ReplayEngine<memsim::PrivateL2HierarchyWide>(config_, h,
+                                                          clients_)
+          .Run();
+    }
     // The broadcast-snoop reference arm devirtualizes too, so
     // directory-vs-snoop comparisons measure coherence resolution alone,
     // not dispatch overhead.

@@ -184,6 +184,13 @@ inline void RecordReplayMetrics(MetricsRegistry* registry,
       .Add(r.mem.l1_to_l1_transfers);
   registry->counter("replay.invalidations").Add(r.mem.invalidations);
   registry->counter("replay.writebacks").Add(r.mem.writebacks);
+  // SMP shared-bus occupancy model (zero for CMP runs and for the
+  // flat-latency reference arm). The gauge keeps the worst
+  // single-transaction bus wait seen by any run via its peak mark.
+  registry->counter("bus.transactions").Add(r.mem.bus_transactions);
+  registry->counter("bus.busy_cycles").Add(r.mem.bus_busy_cycles);
+  registry->gauge("bus.peak_queue_delay")
+      .Set(static_cast<int64_t>(r.mem.bus_peak_queue));
   for (uint32_t t = 0; t < r.num_tenants; ++t) {
     const TenantStats& ts = r.tenants[t];
     const std::string prefix = "replay.tenant" + std::to_string(t);

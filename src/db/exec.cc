@@ -185,7 +185,7 @@ ProjectOp::ProjectOp(std::unique_ptr<Operator> child, std::vector<int> cols)
     out.push_back(child_->output_schema().column(static_cast<size_t>(c)));
   }
   schema_ = Schema(std::move(out));
-  buffer_.resize(schema_.tuple_size());
+  buffer_.Resize(schema_.tuple_size());
 }
 
 void ProjectOp::Open(ExecContext* ctx) { child_->Open(ctx); }
@@ -229,7 +229,7 @@ HashJoinOp::HashJoinOp(std::unique_ptr<Operator> build,
   build_region_ = trace::RegionId::kHashBuild;
   probe_region_ = trace::RegionId::kHashProbe;
   schema_ = Schema::Concat(probe_->output_schema(), build_->output_schema());
-  out_buf_.resize(schema_.tuple_size());
+  out_buf_.Resize(schema_.tuple_size());
   null_build_.assign(build_->output_schema().tuple_size(), 0);
 }
 
@@ -360,7 +360,7 @@ NlJoinOp::NlJoinOp(std::unique_ptr<Operator> outer,
       inner_key_(inner_key) {
   region_ = trace::RegionId::kNlJoin;
   schema_ = Schema::Concat(outer_->output_schema(), inner_->output_schema());
-  out_buf_.resize(schema_.tuple_size());
+  out_buf_.Resize(schema_.tuple_size());
 }
 
 void NlJoinOp::Open(ExecContext* ctx) {
@@ -555,10 +555,17 @@ void SortOp::Open(ExecContext* ctx) {
   child_->Open(ctx);
   while (const uint8_t* tuple = child_->Next(ctx)) {
     if (t != nullptr) t->EnterRegion(region_);
-    rows_.emplace_back(tuple, tuple + s.tuple_size());
+    // Line-aligned like the hash-join build rows: the number of cache
+    // lines a sort row spans — and therefore the trace's event skeleton —
+    // must be a function of the tuple width alone, not of where the heap
+    // placed the buffer (vector-backed rows made DSS trace totals vary
+    // with the sweep's builder-thread count).
+    uint8_t* copy =
+        static_cast<uint8_t*>(ctx->temp->Allocate(s.tuple_size(), 64));
+    std::memcpy(copy, tuple, s.tuple_size());
+    rows_.push_back(copy);
     if (t != nullptr) {
-      t->Write(rows_.back().data(), s.tuple_size(),
-               CostModel::kTupleCopyPerLine);
+      t->Write(copy, s.tuple_size(), CostModel::kTupleCopyPerLine);
     }
   }
   child_->Close(ctx);
@@ -566,10 +573,9 @@ void SortOp::Open(ExecContext* ctx) {
   const int kc = key_col_;
   const bool asc = ascending_;
   std::stable_sort(rows_.begin(), rows_.end(),
-                   [sp, kc, asc](const std::vector<uint8_t>& a,
-                                 const std::vector<uint8_t>& b) {
-                     const int64_t ka = GetIntAt(*sp, a.data(), kc);
-                     const int64_t kb = GetIntAt(*sp, b.data(), kc);
+                   [sp, kc, asc](const uint8_t* a, const uint8_t* b) {
+                     const int64_t ka = GetIntAt(*sp, a, kc);
+                     const int64_t kb = GetIntAt(*sp, b, kc);
                      return asc ? ka < kb : kb < ka;
                    });
   if (t != nullptr && !rows_.empty()) {
@@ -579,7 +585,7 @@ void SortOp::Open(ExecContext* ctx) {
     for (uint64_t i = 0; i < compares; i += 16) {
       t->Compute(CostModel::kSortCompare * 16);
       const size_t a = static_cast<size_t>(i % rows_.size());
-      t->Read(rows_[a].data(), 8, 2);
+      t->Read(rows_[a], 8, 2);
     }
   }
 }
@@ -589,9 +595,9 @@ const uint8_t* SortOp::Next(ExecContext* ctx) {
   trace::Tracer* t = ctx->tracer;
   if (t != nullptr) {
     t->EnterRegion(region_);
-    t->Read(rows_[pos_].data(), child_->output_schema().tuple_size(), 3);
+    t->Read(rows_[pos_], child_->output_schema().tuple_size(), 3);
   }
-  return rows_[pos_++].data();
+  return rows_[pos_++];
 }
 
 void SortOp::Close(ExecContext* ctx) { rows_.clear(); }

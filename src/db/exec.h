@@ -29,6 +29,28 @@ struct ExecContext {
   Arena* temp = nullptr;
 };
 
+/// Operator-owned output tuple buffer, kept 64-byte aligned. Traced tuple
+/// copies record the buffer's absolute address, so the number of cache
+/// lines a copy spans — and with it the trace's event totals — must be a
+/// function of the tuple width alone; a malloc-placed std::vector buffer
+/// made the totals depend on heap layout (and therefore on the sweep's
+/// builder-thread count and build order).
+class TupleBuf {
+ public:
+  void Resize(size_t n) {
+    raw_.assign(n + 63, 0);
+    p_ = reinterpret_cast<uint8_t*>(
+        (reinterpret_cast<uintptr_t>(raw_.data()) + 63) &
+        ~static_cast<uintptr_t>(63));
+  }
+  uint8_t* data() { return p_; }
+  const uint8_t* data() const { return p_; }
+
+ private:
+  std::vector<uint8_t> raw_;
+  uint8_t* p_ = nullptr;
+};
+
 /// Simple comparison predicate against a column; conjunctions are vectors
 /// of these. Kept struct-shaped (no std::function) so evaluation cost is
 /// explicit and traceable.
@@ -125,7 +147,7 @@ class ProjectOp : public Operator {
   std::unique_ptr<Operator> child_;
   std::vector<int> columns_;
   Schema schema_;
-  std::vector<uint8_t> buffer_;
+  TupleBuf buffer_;
   trace::RegionId region_;
 };
 
@@ -163,7 +185,7 @@ class HashJoinOp : public Operator {
   const uint8_t* cur_probe_ = nullptr;
   int32_t chain_ = -1;
   bool probe_matched_ = false;
-  std::vector<uint8_t> out_buf_;
+  TupleBuf out_buf_;
   std::vector<uint8_t> null_build_;
   trace::RegionId build_region_;
   trace::RegionId probe_region_;
@@ -229,7 +251,7 @@ class NlJoinOp : public Operator {
   std::vector<const uint8_t*> inner_rows_;
   const uint8_t* cur_outer_ = nullptr;
   size_t inner_pos_ = 0;
-  std::vector<uint8_t> out_buf_;
+  TupleBuf out_buf_;
   trace::RegionId region_;
 };
 
@@ -248,7 +270,7 @@ class SortOp : public Operator {
   std::unique_ptr<Operator> child_;
   int key_col_;
   bool ascending_;
-  std::vector<std::vector<uint8_t>> rows_;
+  std::vector<const uint8_t*> rows_;  ///< line-aligned copies in ctx->temp
   size_t pos_ = 0;
   trace::RegionId region_;
 };

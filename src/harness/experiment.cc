@@ -53,6 +53,13 @@ memsim::HierarchyConfig MakeHierarchyConfig(const ExperimentConfig& config) {
     h.l2_ports = ports;
   }
   h.l2_port_occupancy = 6;
+  // SMP shared-bus occupancy model (no effect on CMP topologies): a
+  // short address/snoop phase per transaction plus a full line-transfer
+  // data phase. Address-only transactions (upgrades) hold the bus for
+  // the former; fetches and writebacks also hold the data cycles.
+  h.smp_bus = config.smp_bus_model;
+  h.bus_addr_cycles = 4;
+  h.bus_data_cycles = 12;
   return h;
 }
 

@@ -141,6 +141,15 @@ struct ExperimentConfig {
   /// two); deliberately excluded from sweep output so the arms'
   /// serialized cells stay byte-comparable.
   bool smp_snoop_reference = false;
+  /// SMP topology only: charge every coherence transaction (remote
+  /// fetch, upgrade invalidation round, writeback) against the shared
+  /// bus's occupancy clock, making queue_delay the real wait behind
+  /// earlier transactions — the coherence-limited scaling knee. False
+  /// keeps the historical flat-latency timing, byte-for-byte: the pinned
+  /// reference arm, mirroring how smp_snoop_reference pins coherence
+  /// resolution. Unlike that knob this one DOES change simulated
+  /// results, so it participates in sweep output and shard fingerprints.
+  bool smp_bus_model = false;
 };
 
 /// Resolved hardware view (for reporting).

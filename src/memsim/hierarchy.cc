@@ -17,11 +17,22 @@ const char* AccessClassName(AccessClass c) {
 }
 
 // ---------------------------------------------------------------------------
-// SharedL2Hierarchy (CMP)
+// SharedL2HierarchyImpl (CMP)
 // ---------------------------------------------------------------------------
 
-SharedL2Hierarchy::SharedL2Hierarchy(const HierarchyConfig& config)
+template <uint32_t kMaxNodes>
+SharedL2HierarchyImpl<kMaxNodes>::SharedL2HierarchyImpl(
+    const HierarchyConfig& config)
     : config_(config), l2_(config.l2) {
+  // The L1 directory's sharer masks are kMaxNodes wide; fail loudly
+  // rather than index past them (MakeCmpHierarchy routes by width).
+  if (config.num_cores > kMaxNodes) {
+    std::fprintf(stderr,
+                 "SharedL2Hierarchy: L1 directory supports <= %u cores, "
+                 "got %u\n",
+                 kMaxNodes, config.num_cores);
+    std::abort();
+  }
   line_shift_ = Log2Floor(config.l2.line_bytes);
   for (uint32_t i = 0; i < config.num_cores; ++i) {
     l1i_.emplace_back(config.l1i);
@@ -31,14 +42,16 @@ SharedL2Hierarchy::SharedL2Hierarchy(const HierarchyConfig& config)
   port_free_.assign(std::max<uint32_t>(1, config.l2_ports), 0);
 }
 
-void SharedL2Hierarchy::ResetStats() {
+template <uint32_t kMaxNodes>
+void SharedL2HierarchyImpl<kMaxNodes>::ResetStats() {
   stats_ = HierarchyStats();
   l2_.ResetCounters();
   for (Cache& c : l1i_) c.ResetCounters();
   for (Cache& c : l1d_) c.ResetCounters();
 }
 
-double SharedL2Hierarchy::L1DHitRate() const {
+template <uint32_t kMaxNodes>
+double SharedL2HierarchyImpl<kMaxNodes>::L1DHitRate() const {
   uint64_t h = 0, m = 0;
   for (const Cache& c : l1d_) {
     h += c.hits();
@@ -47,7 +60,8 @@ double SharedL2Hierarchy::L1DHitRate() const {
   return (h + m) ? static_cast<double>(h) / static_cast<double>(h + m) : 0.0;
 }
 
-double SharedL2Hierarchy::L1IHitRate() const {
+template <uint32_t kMaxNodes>
+double SharedL2HierarchyImpl<kMaxNodes>::L1IHitRate() const {
   uint64_t h = 0, m = 0;
   for (const Cache& c : l1i_) {
     h += c.hits();
@@ -57,25 +71,40 @@ double SharedL2Hierarchy::L1IHitRate() const {
 }
 
 // ---------------------------------------------------------------------------
-// PrivateL2HierarchyImpl (SMP)
+// Explicit instantiations
 // ---------------------------------------------------------------------------
 
-// Both arms' methods are templates defined in hierarchy.h. These
-// instantiations force every member of both arms to compile even in a
-// build whose TUs exercise only one of them. Deliberately NOT paired
-// with `extern template` declarations in the header: suppressing
-// per-TU instantiation would also stop the replay engine from inlining
-// the per-access methods, which is the whole point of the design.
-template class PrivateL2HierarchyImpl<true>;   // directory (default)
-template class PrivateL2HierarchyImpl<false>;  // broadcast-snoop reference
+// Every arm/width combination the factories and the replay engine's
+// devirtualized dispatch (coresim/cmp.cc) can name. These force every
+// member of each combination to compile even in a build whose TUs
+// exercise only some of them. Deliberately NOT paired with
+// `extern template` declarations in the header: suppressing per-TU
+// instantiation would also stop the replay engine from inlining the
+// per-access methods, which is the whole point of the design.
+template class SharedL2HierarchyImpl<kNarrowMaxNodes>;
+template class SharedL2HierarchyImpl<kWideMaxNodes>;
+template class PrivateL2HierarchyImpl<true, kNarrowMaxNodes>;   // directory
+template class PrivateL2HierarchyImpl<true, kWideMaxNodes>;     // wide dir
+template class PrivateL2HierarchyImpl<false, kNarrowMaxNodes>;  // snoop ref
 
 std::unique_ptr<MemoryHierarchy> MakeCmpHierarchy(const HierarchyConfig& c) {
+  // Narrow through 64 cores — the historical single-word-mask hot path —
+  // wide through 1024 (the constructor aborts past that).
+  if (c.num_cores > kNarrowMaxNodes) {
+    return std::make_unique<SharedL2HierarchyWide>(c);
+  }
   return std::make_unique<SharedL2Hierarchy>(c);
 }
 std::unique_ptr<MemoryHierarchy> MakeSmpHierarchy(const HierarchyConfig& c) {
-  // The directory's sharers bitmap covers 64 nodes; larger machines run
-  // the broadcast snoop, which is bit-identical and has no node limit.
-  if (c.num_cores > 64) return std::make_unique<PrivateL2SnoopHierarchy>(c);
+  // Route by sharers-bitmap width: narrow directory through 64 nodes,
+  // wide directory through 1024; machines larger still run the broadcast
+  // snoop, which is bit-identical and has no node limit.
+  if (c.num_cores > kWideMaxNodes) {
+    return std::make_unique<PrivateL2SnoopHierarchy>(c);
+  }
+  if (c.num_cores > kNarrowMaxNodes) {
+    return std::make_unique<PrivateL2HierarchyWide>(c);
+  }
   return std::make_unique<PrivateL2Hierarchy>(c);
 }
 std::unique_ptr<MemoryHierarchy> MakeSmpSnoopHierarchy(

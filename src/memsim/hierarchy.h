@@ -4,9 +4,12 @@
 //
 // The hierarchy is a timing oracle: cores present an access with the current
 // local time and receive (latency, classification). Shared-resource
-// contention (finite L2 ports) is modeled with per-port next-free times, so
-// bursts of correlated misses from many cores suffer queueing delays — the
-// effect behind the sublinear OLTP scaling in Figure 8.
+// contention is modeled with next-free times: the CMP charges finite L2
+// ports (per-port next-free times, the effect behind the sublinear OLTP
+// scaling in Figure 8), and the SMP — when the bus model is enabled —
+// charges every coherence transaction against one shared-bus clock, so
+// queue_delay becomes the real wait behind earlier transactions (the
+// coherence-limited scaling knee; see docs/COHERENCE.md).
 //
 // Hot-path layout: both concrete hierarchies are `final` and define their
 // per-access methods inline in this header, so the templated replay core
@@ -16,10 +19,14 @@
 // `Cache::Probe` whose handle is reused for the hit/fill/state steps, and
 // both coherence directories — the CMP L1 directory and the SMP private-L2
 // sharers-bitmap directory — are flat open-addressed tables
-// (common/flat_hash.h) probed inline. The `MemoryHierarchy` interface
-// remains the virtual facade for the harness and any external hierarchy
-// implementation. The SMP coherence protocol itself is documented in
-// docs/COHERENCE.md.
+// (common/flat_hash.h) probed inline. Sharer sets are fixed-width
+// `BitSet<kMaxNodes>` masks (common/bitset.h): each hierarchy is templated
+// on its maximum node count, and the narrow (64-node) instantiation keeps
+// the exact single-word mask code the hot path always had while the wide
+// (1024-node) instantiation serves the large-n shootout grids. The
+// `MemoryHierarchy` interface remains the virtual facade for the harness
+// and any external hierarchy implementation. The SMP coherence protocol
+// itself is documented in docs/COHERENCE.md.
 #ifndef STAGEDCMP_MEMSIM_HIERARCHY_H_
 #define STAGEDCMP_MEMSIM_HIERARCHY_H_
 
@@ -31,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/flat_hash.h"
 #include "common/histogram.h"
 #include "common/status.h"
@@ -38,6 +46,12 @@
 #include "memsim/stream_buffer.h"
 
 namespace stagedcmp::memsim {
+
+/// Node-count ceilings for the two sharer-bitmap instantiations. Narrow
+/// covers every historical spec (and compiles to the old scalar-mask
+/// code); wide covers the large-n CMP-vs-SMP shootout grids.
+inline constexpr uint32_t kNarrowMaxNodes = 64;
+inline constexpr uint32_t kWideMaxNodes = 1024;
 
 /// Where an access was satisfied; drives stall attribution.
 enum class AccessClass : uint8_t {
@@ -72,12 +86,23 @@ struct HierarchyConfig {
   bool stream_buffers = true;
   uint32_t stream_buffer_count = 4;
   uint32_t stream_buffer_depth = 8;
+  /// SMP shared-bus occupancy model (private-L2 hierarchies only). When
+  /// false — the pinned flat-latency reference arm — coherence actions
+  /// charge only the flat LatencyConfig numbers and queue_delay stays
+  /// zero, reproducing the historical SMP timing byte-for-byte. When
+  /// true, every coherence transaction (remote fetch, upgrade round,
+  /// writeback) also occupies the one bus, and requesters wait behind
+  /// earlier transactions. Cycle accounting rules: docs/COHERENCE.md.
+  bool smp_bus = false;
+  uint32_t bus_addr_cycles = 4;   ///< address/snoop phase occupancy
+  uint32_t bus_data_cycles = 12;  ///< cache-line data-transfer occupancy
 };
 
 struct AccessResult {
   uint64_t latency = 0;     ///< total load-to-use cycles
   AccessClass cls = AccessClass::kL1Hit;
-  uint64_t queue_delay = 0; ///< portion of latency due to port queueing
+  uint64_t queue_delay = 0; ///< portion of latency due to queueing (CMP L2
+                            ///< ports, or the SMP shared bus)
 };
 
 /// Aggregate counters, one row per access class, split I vs D.
@@ -88,6 +113,11 @@ struct HierarchyStats {
   uint64_t invalidations = 0;
   uint64_t writebacks = 0;
   LogHistogram queue_delay;
+  /// SMP shared-bus occupancy counters (zero when the bus model is off
+  /// and on CMP hierarchies).
+  uint64_t bus_transactions = 0;
+  uint64_t bus_busy_cycles = 0;
+  uint64_t bus_peak_queue = 0;  ///< longest single-transaction bus wait
 
   uint64_t data_total() const {
     uint64_t t = 0;
@@ -130,9 +160,12 @@ class MemoryHierarchy {
 };
 
 /// CMP: private split L1s, one shared banked L2, on-chip L1-to-L1 transfers.
-class SharedL2Hierarchy final : public MemoryHierarchy {
+/// Templated on the maximum node count the L1 directory's sharer masks can
+/// register; construction aborts past it.
+template <uint32_t kMaxNodes>
+class SharedL2HierarchyImpl final : public MemoryHierarchy {
  public:
-  explicit SharedL2Hierarchy(const HierarchyConfig& config);
+  explicit SharedL2HierarchyImpl(const HierarchyConfig& config);
 
   inline AccessResult AccessData(uint32_t core, uint64_t addr, bool is_write,
                                  uint64_t now) override;
@@ -163,43 +196,59 @@ class SharedL2Hierarchy final : public MemoryHierarchy {
   // eviction, which made unordered_map's node allocations a measured
   // hot spot.
   struct DirEntry {
-    uint32_t sharers = 0;
-    int8_t dirty_owner = -1;
+    BitSet<kMaxNodes> sharers;
+    int16_t dirty_owner = -1;
   };
   FlatMap64<DirEntry> l1_dir_;
   HierarchyStats stats_;
   uint32_t line_shift_;
 };
 
+/// The historical CMP type: covers every spec up to 64 cores with
+/// single-word sharer masks (bit-identical to the old u32-mask code).
+using SharedL2Hierarchy = SharedL2HierarchyImpl<kNarrowMaxNodes>;
+/// Wide CMP instantiation for the large-n shootout grids.
+using SharedL2HierarchyWide = SharedL2HierarchyImpl<kWideMaxNodes>;
+
 /// Coherence-directory entry over the private L2s: which nodes hold the
-/// line in any non-Invalid state (`sharers`, one bit per node, so the SMP
-/// hierarchy supports up to 64 nodes) and which node, if any, holds it
-/// Modified in its L2 (`dirty_owner`, -1 for none). The directory mirrors
-/// L2 state only — an L1-Modified line whose L2 copy is still Exclusive
-/// has dirty_owner == -1, matching what a snoop of the L2s would see.
-struct SmpDirEntry {
-  uint64_t sharers = 0;
-  int8_t dirty_owner = -1;
+/// line in any non-Invalid state (`sharers`, one bit per node) and which
+/// node, if any, holds it Modified in its L2 (`dirty_owner`, -1 for
+/// none). The directory mirrors L2 state only — an L1-Modified line whose
+/// L2 copy is still Exclusive has dirty_owner == -1, matching what a
+/// snoop of the L2s would see.
+template <uint32_t kMaxNodes>
+struct SmpDirEntryT {
+  BitSet<kMaxNodes> sharers;
+  int16_t dirty_owner = -1;
 };
+/// The narrow (64-node) entry most tests poke at directly.
+using SmpDirEntry = SmpDirEntryT<kNarrowMaxNodes>;
 
 /// SMP: each node has split L1s and a private L2; MESI over the L2s.
 /// Dirty-remote reads are long-latency cache-to-cache transfers; writes to
 /// remotely-shared lines invalidate (subsequent remote reads then miss).
 /// The full protocol — states, inclusion rules, transition table, counter
-/// attribution — is documented in docs/COHERENCE.md.
+/// attribution, bus cycle accounting — is documented in docs/COHERENCE.md.
 ///
 /// Two arms share this implementation, selected at compile time:
-///   * kUseDirectory = true (`PrivateL2Hierarchy`, the default): a
-///     sharers-bitmap directory (`FlatMap64<SmpDirEntry>`) kept exactly in
-///     sync by every L2 fill, invalidation, downgrade and eviction. L2
-///     misses and write upgrades visit only the bitmap's set bits, so
-///     coherence cost scales with the number of actual holders instead of
-///     with num_cores.
+///   * kUseDirectory = true (`PrivateL2Hierarchy` narrow /
+///     `PrivateL2HierarchyWide`, the default): a sharers-bitmap directory
+///     (`FlatMap64<SmpDirEntryT<kMaxNodes>>`) kept exactly in sync by
+///     every L2 fill, invalidation, downgrade and eviction. L2 misses and
+///     write upgrades visit only the bitmap's set bits, so coherence cost
+///     scales with the number of actual holders instead of with
+///     num_cores. Construction aborts past kMaxNodes.
 ///   * kUseDirectory = false (`PrivateL2SnoopHierarchy`): the original
 ///     broadcast snoop that probes every peer L2 per miss/upgrade. Kept as
-///     the reference arm; tests/test_directory_equivalence.cc and
-///     scripts/check.sh pin the two arms bit-identical.
-template <bool kUseDirectory>
+///     the reference arm (and the no-node-limit fallback);
+///     tests/test_directory_equivalence.cc and scripts/check.sh pin the
+///     two arms bit-identical.
+///
+/// Orthogonally, `HierarchyConfig::smp_bus` selects the timing arm: flat
+/// coherence latencies (the pinned reference) or the shared-bus occupancy
+/// model. Both coherence arms charge the bus through the same code, so
+/// directory-vs-snoop stays bit-identical with the bus on or off.
+template <bool kUseDirectory, uint32_t kMaxNodes = kNarrowMaxNodes>
 class PrivateL2HierarchyImpl final : public MemoryHierarchy {
  public:
   explicit PrivateL2HierarchyImpl(const HierarchyConfig& config);
@@ -217,7 +266,9 @@ class PrivateL2HierarchyImpl final : public MemoryHierarchy {
   double L2HitRate() const override;
 
   /// The coherence directory (empty for the snoop arm). Tests only.
-  const FlatMap64<SmpDirEntry>& directory() const { return l2_dir_; }
+  const FlatMap64<SmpDirEntryT<kMaxNodes>>& directory() const {
+    return l2_dir_;
+  }
 
   /// Cross-checks the directory against the actual L2 contents, both
   /// ways: every resident L2 line must have its node's sharer bit set
@@ -230,21 +281,47 @@ class PrivateL2HierarchyImpl final : public MemoryHierarchy {
  private:
   /// Fetches a line into node caches after local L2 miss (probe `p2` of
   /// the node's L2 is reused for the fill). Returns the access class and
-  /// the MESI state the line was installed with.
+  /// the MESI state the line was installed with. With the bus model on,
+  /// the fetch acquires the bus (address + data phases) and any dirty
+  /// victim posts a writeback; `*bus_wait` receives the requester's wait.
   inline AccessClass FetchRemoteOrMemory(uint32_t node, uint64_t line_addr,
-                                         bool is_write,
+                                         bool is_write, uint64_t now,
                                          const Cache::ProbeResult& p2,
-                                         LineState* fill_state);
+                                         LineState* fill_state,
+                                         uint64_t* bus_wait);
+
+  /// Acquires the shared bus at local time `now` for `occupancy` cycles:
+  /// waits behind the transaction currently holding it, then holds it.
+  /// Returns the wait. Call only with the bus model on.
+  inline uint64_t BusAcquire(uint64_t now, uint32_t occupancy) {
+    const uint64_t start = std::max<uint64_t>(now, bus_free_);
+    const uint64_t delay = start - now;
+    bus_free_ = start + occupancy;
+    ++stats_.bus_transactions;
+    stats_.bus_busy_cycles += occupancy;
+    if (delay > stats_.bus_peak_queue) stats_.bus_peak_queue = delay;
+    stats_.queue_delay.Add(delay);
+    return delay;
+  }
+
+  /// Posted (fire-and-forget) bus transaction — dirty-victim writebacks.
+  /// Occupies the bus and counts, but nobody waits on it, so it adds no
+  /// latency and no queue_delay sample.
+  inline void BusPosted(uint64_t now, uint32_t occupancy) {
+    bus_free_ = std::max<uint64_t>(now, bus_free_) + occupancy;
+    ++stats_.bus_transactions;
+    stats_.bus_busy_cycles += occupancy;
+  }
 
   /// Directory bookkeeping for an L2 eviction: node no longer holds the
   /// victim line. Called on every valid `EvictedLine` an L2 fill returns
   /// (data and instruction paths alike) so the bitmap never goes stale.
   inline void DirNoteEviction(uint32_t node, const EvictedLine& ev) {
-    SmpDirEntry* e = l2_dir_.Find(ev.line_addr);
+    SmpDirEntryT<kMaxNodes>* e = l2_dir_.Find(ev.line_addr);
     if (e == nullptr) return;
-    e->sharers &= ~(uint64_t{1} << node);
-    if (e->dirty_owner == static_cast<int8_t>(node)) e->dirty_owner = -1;
-    if (e->sharers == 0) l2_dir_.Erase(ev.line_addr);
+    e->sharers.Reset(node);
+    if (e->dirty_owner == static_cast<int16_t>(node)) e->dirty_owner = -1;
+    if (e->sharers.None()) l2_dir_.Erase(ev.line_addr);
   }
 
   HierarchyConfig config_;
@@ -255,29 +332,37 @@ class PrivateL2HierarchyImpl final : public MemoryHierarchy {
   // line -> {sharers bitmap, dirty owner} over the private L2s. Flat
   // open-addressed table (same rationale as the CMP L1 directory):
   // probed on every L2 miss, upgrade, fill and eviction.
-  FlatMap64<SmpDirEntry> l2_dir_;
+  FlatMap64<SmpDirEntryT<kMaxNodes>> l2_dir_;
   HierarchyStats stats_;
+  uint64_t bus_free_ = 0;  // shared-bus next-free time (smp_bus arm)
   uint32_t line_shift_;
 };
 
 /// Directory-based SMP hierarchy (the default; coherence actions visit
-/// only the line's actual holders).
-using PrivateL2Hierarchy = PrivateL2HierarchyImpl<true>;
-/// Broadcast-snoop reference arm (O(num_cores) probes per miss/upgrade).
+/// only the line's actual holders). Narrow: up to 64 nodes.
+using PrivateL2Hierarchy = PrivateL2HierarchyImpl<true, kNarrowMaxNodes>;
+/// Wide directory arm for the shootout grids (up to 1024 nodes).
+using PrivateL2HierarchyWide = PrivateL2HierarchyImpl<true, kWideMaxNodes>;
+/// Broadcast-snoop reference arm (O(num_cores) probes per miss/upgrade;
+/// no sharer bitmaps, so one instantiation serves every node count).
 using PrivateL2SnoopHierarchy = PrivateL2HierarchyImpl<false>;
 
-/// Factory helpers used by the harness.
+/// Factory helpers used by the harness. The SMP/CMP factories route by
+/// node count: narrow instantiation through 64 nodes (the historical hot
+/// path), wide through 1024; past that the SMP falls back to the
+/// unlimited snoop arm and the CMP aborts.
 std::unique_ptr<MemoryHierarchy> MakeCmpHierarchy(const HierarchyConfig& c);
 std::unique_ptr<MemoryHierarchy> MakeSmpHierarchy(const HierarchyConfig& c);
 std::unique_ptr<MemoryHierarchy> MakeSmpSnoopHierarchy(
     const HierarchyConfig& c);
 
 // ---------------------------------------------------------------------------
-// SharedL2Hierarchy (CMP) — inline hot path
+// SharedL2HierarchyImpl (CMP) — inline hot path
 // ---------------------------------------------------------------------------
 
-inline uint64_t SharedL2Hierarchy::PortDelay(uint64_t line_addr,
-                                             uint64_t now) {
+template <uint32_t kMaxNodes>
+inline uint64_t SharedL2HierarchyImpl<kMaxNodes>::PortDelay(uint64_t line_addr,
+                                                            uint64_t now) {
   // Requests are distributed over ports by line address (banked L2); a
   // request waits until its bank's port frees, then occupies it.
   const size_t p = static_cast<size_t>(line_addr) % port_free_.size();
@@ -288,31 +373,27 @@ inline uint64_t SharedL2Hierarchy::PortDelay(uint64_t line_addr,
   return delay;
 }
 
-inline void SharedL2Hierarchy::TrackL1Fill(uint32_t core, uint64_t line_addr,
-                                           bool is_write) {
+template <uint32_t kMaxNodes>
+inline void SharedL2HierarchyImpl<kMaxNodes>::TrackL1Fill(uint32_t core,
+                                                          uint64_t line_addr,
+                                                          bool is_write) {
   DirEntry& e = l1_dir_.FindOrInsert(line_addr);
   if (is_write) {
     // Invalidate all other L1 copies.
-    uint32_t others = e.sharers & ~(1u << core);
-    if (others != 0) {
-      for (uint32_t c = 0; c < config_.num_cores; ++c) {
-        if (others & (1u << c)) {
-          l1d_[c].Invalidate(line_addr);
-          ++stats_.invalidations;
-        }
-      }
-    }
-    e.sharers = 1u << core;
-    e.dirty_owner = static_cast<int8_t>(core);
+    e.sharers.ForEachSetBitExcept(core, [&](uint32_t c) {
+      l1d_[c].Invalidate(line_addr);
+      ++stats_.invalidations;
+    });
+    e.sharers.SetOnly(core);
+    e.dirty_owner = static_cast<int16_t>(core);
   } else {
-    e.sharers |= 1u << core;
+    e.sharers.Set(core);
   }
 }
 
-inline AccessResult SharedL2Hierarchy::AccessData(uint32_t core,
-                                                  uint64_t addr,
-                                                  bool is_write,
-                                                  uint64_t now) {
+template <uint32_t kMaxNodes>
+inline AccessResult SharedL2HierarchyImpl<kMaxNodes>::AccessData(
+    uint32_t core, uint64_t addr, bool is_write, uint64_t now) {
   AccessResult r;
   const uint64_t line = addr >> line_shift_;
   Cache& l1 = l1d_[core];
@@ -324,10 +405,10 @@ inline AccessResult SharedL2Hierarchy::AccessData(uint32_t core,
     if (is_write) {
       // Write to a shared line: invalidate remote L1 copies.
       if (DirEntry* e = l1_dir_.Find(line)) {
-        if ((e->sharers & ~(1u << core)) != 0) {
+        if (e->sharers.AnyExcept(core)) {
           TrackL1Fill(core, line, /*is_write=*/true);
         } else {
-          e->dirty_owner = static_cast<int8_t>(core);
+          e->dirty_owner = static_cast<int16_t>(core);
         }
       }
     }
@@ -339,7 +420,7 @@ inline AccessResult SharedL2Hierarchy::AccessData(uint32_t core,
   DirEntry* de = l1_dir_.Find(line);
   const bool dirty_remote =
       de != nullptr && de->dirty_owner >= 0 &&
-      de->dirty_owner != static_cast<int8_t>(core) &&
+      de->dirty_owner != static_cast<int16_t>(core) &&
       l1d_[static_cast<uint32_t>(de->dirty_owner)].GetState(line) ==
           LineState::kModified;
 
@@ -373,8 +454,8 @@ inline AccessResult SharedL2Hierarchy::AccessData(uint32_t core,
   EvictedLine l1ev = l1.FillAt(lp, line, is_write);
   if (l1ev.valid) {
     if (DirEntry* e = l1_dir_.Find(l1ev.line_addr)) {
-      e->sharers &= ~(1u << core);
-      if (e->dirty_owner == static_cast<int8_t>(core)) {
+      e->sharers.Reset(core);
+      if (e->dirty_owner == static_cast<int16_t>(core)) {
         e->dirty_owner = -1;
         // Dirty L1 victim is absorbed by the shared (writeback) L2.
         if (l1ev.dirty) {
@@ -382,7 +463,7 @@ inline AccessResult SharedL2Hierarchy::AccessData(uint32_t core,
           if (!pv.hit()) l2_.FillAt(pv, l1ev.line_addr, /*is_write=*/true);
         }
       }
-      if (e->sharers == 0) l1_dir_.Erase(l1ev.line_addr);
+      if (e->sharers.None()) l1_dir_.Erase(l1ev.line_addr);
     }
   }
   TrackL1Fill(core, line, is_write);
@@ -391,9 +472,9 @@ inline AccessResult SharedL2Hierarchy::AccessData(uint32_t core,
   return r;
 }
 
-inline AccessResult SharedL2Hierarchy::AccessInstr(uint32_t core,
-                                                   uint64_t addr,
-                                                   uint64_t now) {
+template <uint32_t kMaxNodes>
+inline AccessResult SharedL2HierarchyImpl<kMaxNodes>::AccessInstr(
+    uint32_t core, uint64_t addr, uint64_t now) {
   AccessResult r;
   const uint64_t line = addr >> line_shift_;
   Cache& l1 = l1i_[core];
@@ -435,10 +516,18 @@ inline AccessResult SharedL2Hierarchy::AccessInstr(uint32_t core,
 // PrivateL2HierarchyImpl (SMP) — inline hot path, both arms
 // ---------------------------------------------------------------------------
 
-template <bool kUseDirectory>
-inline AccessClass PrivateL2HierarchyImpl<kUseDirectory>::FetchRemoteOrMemory(
-    uint32_t node, uint64_t line_addr, bool is_write,
-    const Cache::ProbeResult& p2, LineState* fill_state) {
+template <bool kUseDirectory, uint32_t kMaxNodes>
+inline AccessClass
+PrivateL2HierarchyImpl<kUseDirectory, kMaxNodes>::FetchRemoteOrMemory(
+    uint32_t node, uint64_t line_addr, bool is_write, uint64_t now,
+    const Cache::ProbeResult& p2, LineState* fill_state, uint64_t* bus_wait) {
+  // Any L2-miss fill is one bus transaction: the address phase carries
+  // the request (and its invalidation round, on a write), the data phase
+  // the line — whether it comes from memory or dirty cache-to-cache.
+  if (config_.smp_bus) {
+    *bus_wait = BusAcquire(
+        now, config_.bus_addr_cycles + config_.bus_data_cycles);
+  }
   // Resolve remote holders. Dirty-remote => cache-to-cache (coherence
   // miss). Clean-remote on a write => invalidate peers, fetch from memory.
   bool dirty_remote = false;
@@ -466,16 +555,12 @@ inline AccessClass PrivateL2HierarchyImpl<kUseDirectory>::FetchRemoteOrMemory(
   if constexpr (kUseDirectory) {
     // Visit only the directory's set bits — the actual holders — instead
     // of snooping all num_cores peers.
-    SmpDirEntry* de = l2_dir_.Find(line_addr);
-    uint64_t rest = de ? de->sharers & ~(uint64_t{1} << node) : 0;
-    while (rest != 0) {
-      visit_peer(static_cast<uint32_t>(__builtin_ctzll(rest)));
-      rest &= rest - 1;
-    }
+    SmpDirEntryT<kMaxNodes>* de = l2_dir_.Find(line_addr);
     if (de != nullptr) {
+      de->sharers.ForEachSetBitExcept(node, visit_peer);
       if (is_write) {
         // All peers invalidated; the filler re-registers below.
-        de->sharers = 0;
+        de->sharers.Clear();
         de->dirty_owner = -1;
       } else if (dirty_remote) {
         de->dirty_owner = -1;  // the Modified holder was downgraded
@@ -494,18 +579,22 @@ inline AccessClass PrivateL2HierarchyImpl<kUseDirectory>::FetchRemoteOrMemory(
     // Victim first (its Erase may move entries), then re-find the filled
     // line's entry and register the node.
     if (ev.valid) DirNoteEviction(node, ev);
-    SmpDirEntry& e = l2_dir_.FindOrInsert(line_addr);
-    e.sharers |= uint64_t{1} << node;
-    if (is_write) e.dirty_owner = static_cast<int8_t>(node);
+    SmpDirEntryT<kMaxNodes>& e = l2_dir_.FindOrInsert(line_addr);
+    e.sharers.Set(node);
+    if (is_write) e.dirty_owner = static_cast<int16_t>(node);
   }
-  if (ev.valid && ev.dirty) ++stats_.writebacks;
+  if (ev.valid && ev.dirty) {
+    ++stats_.writebacks;
+    // Dirty victim goes back over the bus, posted behind the fill: it
+    // occupies the data bus but the requester does not wait on it.
+    if (config_.smp_bus) BusPosted(now, config_.bus_data_cycles);
+  }
   return dirty_remote ? AccessClass::kCoherence : AccessClass::kOffChip;
 }
 
-template <bool kUseDirectory>
-inline AccessResult PrivateL2HierarchyImpl<kUseDirectory>::AccessData(
-    uint32_t core, uint64_t addr, bool is_write, uint64_t now) {
-  (void)now;
+template <bool kUseDirectory, uint32_t kMaxNodes>
+inline AccessResult PrivateL2HierarchyImpl<kUseDirectory, kMaxNodes>::
+    AccessData(uint32_t core, uint64_t addr, bool is_write, uint64_t now) {
   AccessResult r;
   const uint64_t line = addr >> line_shift_;
 
@@ -541,7 +630,7 @@ inline AccessResult PrivateL2HierarchyImpl<kUseDirectory>::AccessData(
       // Write hit on Exclusive dirties the L2 copy here. Already-Modified
       // lines need no probe: the invariant guarantees dirty_owner == core.
       if (is_write && l2s == LineState::kExclusive) {
-        l2_dir_.FindOrInsert(line).dirty_owner = static_cast<int8_t>(core);
+        l2_dir_.FindOrInsert(line).dirty_owner = static_cast<int16_t>(core);
       }
     }
     r.cls = AccessClass::kL2Hit;
@@ -559,14 +648,11 @@ inline AccessResult PrivateL2HierarchyImpl<kUseDirectory>::AccessData(
       }
     };
     if constexpr (kUseDirectory) {
-      SmpDirEntry& de = l2_dir_.FindOrInsert(line);  // resident => present
-      uint64_t rest = de.sharers & ~(uint64_t{1} << core);
-      while (rest != 0) {
-        invalidate_peer(static_cast<uint32_t>(__builtin_ctzll(rest)));
-        rest &= rest - 1;
-      }
-      de.sharers = uint64_t{1} << core;
-      de.dirty_owner = static_cast<int8_t>(core);
+      SmpDirEntryT<kMaxNodes>& de =
+          l2_dir_.FindOrInsert(line);  // resident => present
+      de.sharers.ForEachSetBitExcept(core, invalidate_peer);
+      de.sharers.SetOnly(core);
+      de.dirty_owner = static_cast<int16_t>(core);
     } else {
       for (uint32_t n = 0; n < config_.num_cores; ++n) {
         if (n != core) invalidate_peer(n);
@@ -576,14 +662,23 @@ inline AccessResult PrivateL2HierarchyImpl<kUseDirectory>::AccessData(
     l2_[core].AccessAt(p2, true);
     r.cls = AccessClass::kCoherence;
     r.latency = config_.lat.remote_l2 / 2;  // address-only transaction
+    if (config_.smp_bus) {
+      // The upgrade's invalidation round is an address-only transaction.
+      const uint64_t wait = BusAcquire(now, config_.bus_addr_cycles);
+      r.queue_delay = wait;
+      r.latency += wait;
+    }
   } else {
     l2_[core].AccessAt(p2, false);  // records the miss
     LineState fill_state = LineState::kInvalid;
-    const AccessClass cls =
-        FetchRemoteOrMemory(core, line, is_write, p2, &fill_state);
+    uint64_t bus_wait = 0;
+    const AccessClass cls = FetchRemoteOrMemory(core, line, is_write, now, p2,
+                                                &fill_state, &bus_wait);
     r.cls = cls;
-    r.latency = cls == AccessClass::kCoherence ? config_.lat.remote_l2
-                                               : config_.lat.memory;
+    r.latency = (cls == AccessClass::kCoherence ? config_.lat.remote_l2
+                                                : config_.lat.memory) +
+                bus_wait;
+    r.queue_delay = bus_wait;
     l2_shared_after = !is_write && fill_state == LineState::kShared;
   }
 
@@ -596,10 +691,9 @@ inline AccessResult PrivateL2HierarchyImpl<kUseDirectory>::AccessData(
   return r;
 }
 
-template <bool kUseDirectory>
-inline AccessResult PrivateL2HierarchyImpl<kUseDirectory>::AccessInstr(
-    uint32_t core, uint64_t addr, uint64_t now) {
-  (void)now;
+template <bool kUseDirectory, uint32_t kMaxNodes>
+inline AccessResult PrivateL2HierarchyImpl<kUseDirectory, kMaxNodes>::
+    AccessInstr(uint32_t core, uint64_t addr, uint64_t now) {
   AccessResult r;
   const uint64_t line = addr >> line_shift_;
   const Cache::ProbeResult lp = l1i_[core].Probe(line);
@@ -623,16 +717,27 @@ inline AccessResult PrivateL2HierarchyImpl<kUseDirectory>::AccessInstr(
   } else {
     r.cls = AccessClass::kOffChip;
     r.latency = config_.lat.memory;
+    // An instruction fill is a memory fetch over the same shared bus.
+    if (config_.smp_bus) {
+      const uint64_t wait = BusAcquire(
+          now, config_.bus_addr_cycles + config_.bus_data_cycles);
+      r.queue_delay = wait;
+      r.latency += wait;
+    }
     // I-fetch fills do not snoop (the I-side is read-only), but they DO
     // change L2 contents, so the directory must see both the fill and
     // any victim it displaces — the classic way a bitmap goes stale.
+    const EvictedLine ev =
+        l2_[core].FillAt(p2, line, false, LineState::kShared);
     if constexpr (kUseDirectory) {
-      const EvictedLine ev =
-          l2_[core].FillAt(p2, line, false, LineState::kShared);
       if (ev.valid) DirNoteEviction(core, ev);
-      l2_dir_.FindOrInsert(line).sharers |= uint64_t{1} << core;
-    } else {
-      l2_[core].FillAt(p2, line, false, LineState::kShared);
+      l2_dir_.FindOrInsert(line).sharers.Set(core);
+    }
+    // A dirty data victim displaced by the I-fill still posts its
+    // writeback on the bus (kept outside the writebacks counter, which
+    // has never counted I-side victims — both arms, both timing modes).
+    if (config_.smp_bus && ev.valid && ev.dirty) {
+      BusPosted(now, config_.bus_data_cycles);
     }
   }
   l1i_[core].FillAt(lp, line, false);
@@ -646,19 +751,19 @@ inline AccessResult PrivateL2HierarchyImpl<kUseDirectory>::AccessInstr(
 // arms in hierarchy.cc)
 // ---------------------------------------------------------------------------
 
-template <bool kUseDirectory>
-PrivateL2HierarchyImpl<kUseDirectory>::PrivateL2HierarchyImpl(
+template <bool kUseDirectory, uint32_t kMaxNodes>
+PrivateL2HierarchyImpl<kUseDirectory, kMaxNodes>::PrivateL2HierarchyImpl(
     const HierarchyConfig& config)
     : config_(config) {
   if constexpr (kUseDirectory) {
-    // The sharers bitmap is one u64. Fail loudly rather than let
-    // 1<<node wrap and alias sharer bits (MakeSmpHierarchy routes
-    // larger machines to the snoop arm, which has no node limit).
-    if (config.num_cores > 64) {
+    // The sharers bitmap is kMaxNodes wide. Fail loudly rather than let
+    // Set(node) index past it (MakeSmpHierarchy routes machines past the
+    // widest instantiation to the snoop arm, which has no node limit).
+    if (config.num_cores > kMaxNodes) {
       std::fprintf(stderr,
-                   "PrivateL2Hierarchy: directory supports <= 64 nodes, "
+                   "PrivateL2Hierarchy: directory supports <= %u nodes, "
                    "got %u\n",
-                   config.num_cores);
+                   kMaxNodes, config.num_cores);
       std::abort();
     }
   }
@@ -671,18 +776,19 @@ PrivateL2HierarchyImpl<kUseDirectory>::PrivateL2HierarchyImpl(
   }
 }
 
-template <bool kUseDirectory>
-void PrivateL2HierarchyImpl<kUseDirectory>::ResetStats() {
-  // Counters only: cache contents and the directory (which mirrors them)
-  // survive, so post-warmup measurement starts from a warm machine.
+template <bool kUseDirectory, uint32_t kMaxNodes>
+void PrivateL2HierarchyImpl<kUseDirectory, kMaxNodes>::ResetStats() {
+  // Counters only: cache contents, the directory (which mirrors them)
+  // and the bus clock survive, so post-warmup measurement starts from a
+  // warm machine.
   stats_ = HierarchyStats();
   for (Cache& c : l1i_) c.ResetCounters();
   for (Cache& c : l1d_) c.ResetCounters();
   for (Cache& c : l2_) c.ResetCounters();
 }
 
-template <bool kUseDirectory>
-double PrivateL2HierarchyImpl<kUseDirectory>::L1DHitRate() const {
+template <bool kUseDirectory, uint32_t kMaxNodes>
+double PrivateL2HierarchyImpl<kUseDirectory, kMaxNodes>::L1DHitRate() const {
   uint64_t h = 0, m = 0;
   for (const Cache& c : l1d_) {
     h += c.hits();
@@ -691,8 +797,8 @@ double PrivateL2HierarchyImpl<kUseDirectory>::L1DHitRate() const {
   return (h + m) ? static_cast<double>(h) / static_cast<double>(h + m) : 0.0;
 }
 
-template <bool kUseDirectory>
-double PrivateL2HierarchyImpl<kUseDirectory>::L1IHitRate() const {
+template <bool kUseDirectory, uint32_t kMaxNodes>
+double PrivateL2HierarchyImpl<kUseDirectory, kMaxNodes>::L1IHitRate() const {
   uint64_t h = 0, m = 0;
   for (const Cache& c : l1i_) {
     h += c.hits();
@@ -701,8 +807,8 @@ double PrivateL2HierarchyImpl<kUseDirectory>::L1IHitRate() const {
   return (h + m) ? static_cast<double>(h) / static_cast<double>(h + m) : 0.0;
 }
 
-template <bool kUseDirectory>
-double PrivateL2HierarchyImpl<kUseDirectory>::L2HitRate() const {
+template <bool kUseDirectory, uint32_t kMaxNodes>
+double PrivateL2HierarchyImpl<kUseDirectory, kMaxNodes>::L2HitRate() const {
   uint64_t h = 0, m = 0;
   for (const Cache& c : l2_) {
     h += c.hits();
@@ -711,8 +817,9 @@ double PrivateL2HierarchyImpl<kUseDirectory>::L2HitRate() const {
   return (h + m) ? static_cast<double>(h) / static_cast<double>(h + m) : 0.0;
 }
 
-template <bool kUseDirectory>
-std::string PrivateL2HierarchyImpl<kUseDirectory>::CheckDirectoryInvariants()
+template <bool kUseDirectory, uint32_t kMaxNodes>
+std::string
+PrivateL2HierarchyImpl<kUseDirectory, kMaxNodes>::CheckDirectoryInvariants()
     const {
   char buf[160];
   if constexpr (!kUseDirectory) {
@@ -725,15 +832,15 @@ std::string PrivateL2HierarchyImpl<kUseDirectory>::CheckDirectoryInvariants()
   for (uint32_t n = 0; n < config_.num_cores && err.empty(); ++n) {
     l2_[n].ForEachValidLine([&](uint64_t line, LineState s) {
       if (!err.empty()) return;
-      const SmpDirEntry* e = l2_dir_.Find(line);
-      if (e == nullptr || (e->sharers & (uint64_t{1} << n)) == 0) {
+      const SmpDirEntryT<kMaxNodes>* e = l2_dir_.Find(line);
+      if (e == nullptr || !e->sharers.Test(n)) {
         std::snprintf(buf, sizeof(buf),
                       "L2[%u] holds line %#llx but directory has no sharer "
                       "bit for it",
                       n, static_cast<unsigned long long>(line));
         err = buf;
       } else if (s == LineState::kModified &&
-                 e->dirty_owner != static_cast<int8_t>(n)) {
+                 e->dirty_owner != static_cast<int16_t>(n)) {
         std::snprintf(buf, sizeof(buf),
                       "L2[%u] holds line %#llx Modified but dirty_owner=%d",
                       n, static_cast<unsigned long long>(line),
@@ -745,18 +852,17 @@ std::string PrivateL2HierarchyImpl<kUseDirectory>::CheckDirectoryInvariants()
   if (!err.empty()) return err;
   // Directory -> caches: no stale bits, no empty entries, and the dirty
   // owner really holds the line Modified.
-  l2_dir_.ForEach([&](uint64_t line, const SmpDirEntry& e) {
+  l2_dir_.ForEach([&](uint64_t line, const SmpDirEntryT<kMaxNodes>& e) {
     if (!err.empty()) return;
-    if (e.sharers == 0) {
+    if (e.sharers.None()) {
       std::snprintf(buf, sizeof(buf), "directory entry %#llx has no sharers",
                     static_cast<unsigned long long>(line));
       err = buf;
       return;
     }
-    uint64_t rest = e.sharers;
-    while (rest != 0) {
-      const uint32_t n = static_cast<uint32_t>(__builtin_ctzll(rest));
-      rest &= rest - 1;
+    bool stale = false;
+    e.sharers.ForEachSetBit([&](uint32_t n) {
+      if (stale || !err.empty()) return;
       if (n >= config_.num_cores ||
           l2_[n].GetState(line) == LineState::kInvalid) {
         std::snprintf(buf, sizeof(buf),
@@ -764,12 +870,13 @@ std::string PrivateL2HierarchyImpl<kUseDirectory>::CheckDirectoryInvariants()
                       "its L2 does not hold",
                       n, static_cast<unsigned long long>(line));
         err = buf;
-        return;
+        stale = true;
       }
-    }
+    });
+    if (stale || !err.empty()) return;
     if (e.dirty_owner >= 0) {
       const uint32_t o = static_cast<uint32_t>(e.dirty_owner);
-      if ((e.sharers & (uint64_t{1} << o)) == 0 ||
+      if (!e.sharers.Test(o) ||
           l2_[o].GetState(line) != LineState::kModified) {
         std::snprintf(buf, sizeof(buf),
                       "directory dirty_owner %u of line %#llx does not hold "

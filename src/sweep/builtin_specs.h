@@ -30,6 +30,9 @@ harness::TraceSetConfig DssUnsaturatedConfig();
 ///   fig8smp  — fig8's axis on the SMP private-L2 machine, extended to
 ///              {4,8,16,32} nodes (the sweep the sharers-bitmap
 ///              directory makes scale)
+///   shootout — CMP vs SMP at matched node counts {16,64,256,1024} x
+///              {OLTP,DSS} with the SMP shared-bus occupancy model on
+///              (the queue-delay knee grid)
 std::vector<std::string> BuiltinSpecNames();
 
 bool HasBuiltinSpec(const std::string& name);
@@ -37,6 +40,16 @@ bool HasBuiltinSpec(const std::string& name);
 /// Returns the named spec; aborts on unknown names (check
 /// HasBuiltinSpec first when the name is user input).
 SweepSpec BuiltinSpec(const std::string& name);
+
+/// Applies the named spec's workload-scale overrides to `factory` (call
+/// between construction and the first Build). Most specs run the default
+/// DESIGN.md scale and are a no-op here; the large-n `shootout` grid
+/// shrinks the TPC-H tables so a 1024-client DSS set stays CI-sized.
+/// Runners that honor this for one spec name reproduce byte-identical
+/// traces for it everywhere (bundles echo the factory scale, so a
+/// mismatched bundle is detected and rebuilt cold).
+void ConfigureFactoryForSpec(const std::string& name,
+                             harness::WorkloadFactory* factory);
 
 }  // namespace stagedcmp::sweep
 

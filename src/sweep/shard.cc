@@ -17,7 +17,11 @@ namespace stagedcmp::sweep {
 
 namespace {
 
-constexpr int kShardSchema = 1;
+// Schema 2: adds the SMP shared-bus occupancy fields (smp_bus_model in
+// the fingerprint, bus_* counters in every result block). Schema-1 files
+// predate the bus model and cannot carry its counters, so they are
+// rejected rather than silently merged with zeros.
+constexpr int kShardSchema = 2;
 constexpr int kNumClasses = static_cast<int>(memsim::AccessClass::kCount);
 constexpr int kNumBuckets = static_cast<int>(coresim::Bucket::kCount);
 
@@ -130,7 +134,8 @@ uint64_t SpecFingerprint(const std::string& spec_name,
           ec.warmup_instructions, static_cast<uint64_t>(ec.stream_buffers),
           static_cast<uint64_t>(ec.l2_ports),
           static_cast<uint64_t>(ec.memory_latency),
-          static_cast<uint64_t>(ec.fixed_l2_latency)}) {
+          static_cast<uint64_t>(ec.fixed_l2_latency),
+          static_cast<uint64_t>(ec.smp_bus_model)}) {
       m.Mix(v);
     }
   }
@@ -472,6 +477,9 @@ void WriteShardFile(const SweepReport& report, std::ostream& os) {
         m.Int("writebacks", r.mem.writebacks);
         m.Int("queue_delay_count", r.mem.queue_delay.count());
         m.Int("queue_delay_sum", r.mem.queue_delay.sum());
+        m.Int("bus_transactions", r.mem.bus_transactions);
+        m.Int("bus_busy_cycles", r.mem.bus_busy_cycles);
+        m.Int("bus_peak_queue", r.mem.bus_peak_queue);
         m.Int("num_tenants", r.num_tenants);
         if (r.num_tenants > 0) {
           std::ostringstream tn;
@@ -718,6 +726,10 @@ bool MergeShardReports(const SweepSpec& spec,
           !GetU64(*res, "writebacks", &r.mem.writebacks, error) ||
           !GetU64(*res, "queue_delay_count", &qd_count, error) ||
           !GetU64(*res, "queue_delay_sum", &qd_sum, error) ||
+          !GetU64(*res, "bus_transactions", &r.mem.bus_transactions,
+                  error) ||
+          !GetU64(*res, "bus_busy_cycles", &r.mem.bus_busy_cycles, error) ||
+          !GetU64(*res, "bus_peak_queue", &r.mem.bus_peak_queue, error) ||
           !GetU64(*res, "num_tenants", &num_tenants, error)) {
         return false;
       }

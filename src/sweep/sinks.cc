@@ -118,6 +118,10 @@ void EmitCellConfigJson(const CellResult& cr, std::ostream& os, int indent) {
     o.Str("tenant2_workload", harness::WorkloadName(tc.tenant2_workload));
     o.Int("tenant2_clients", tc.tenant2_clients);
   }
+  // Same conditional-emission rule for the SMP bus model: only cells
+  // that opt in (shootout) carry the knob, so pre-existing goldens keep
+  // their historical bytes.
+  if (ec.smp_bus_model) o.Bool("smp_bus_model", ec.smp_bus_model);
   o.Str("camp", coresim::CampName(ec.camp));
   o.Int("cores", ec.cores);
   o.Int("l2_bytes", ec.l2_bytes);
@@ -163,6 +167,19 @@ void EmitCellMetrics(const CellResult& cr, std::ostream& os, int indent) {
   o.Int("l1_to_l1_transfers", r.mem.l1_to_l1_transfers);
   o.Int("invalidations", r.mem.invalidations);
   o.Int("writebacks", r.mem.writebacks);
+  // Shared-bus occupancy, present only on cells that enable the SMP bus
+  // model (keyed off the config, not the result, so deterministic bytes
+  // of every other spec are untouched).
+  if (cr.cell.exp.smp_bus_model &&
+      cr.cell.exp.topology == harness::Topology::kSmpPrivate) {
+    std::ostringstream sub;
+    JsonObj b(sub, indent + 2);
+    b.Int("transactions", r.mem.bus_transactions);
+    b.Int("busy_cycles", r.mem.bus_busy_cycles);
+    b.Int("peak_queue_delay", r.mem.bus_peak_queue);
+    b.Close();
+    o.Field("bus", sub.str());
+  }
   // Multi-tenant attribution, present only on cells that set a tenant
   // boundary (SimConfig::tenant_a_clients).
   if (r.num_tenants > 0) {

@@ -6,7 +6,8 @@
 // PrivateL2SnoopHierarchy, and this suite pins the two arms bit-identical
 // — every HierarchyStats counter, every latency, every breakdown double —
 // on randomized 1M-event synthetic traces across the paper's fig8-style
-// core-count range (2..64 nodes):
+// core-count range, widened to the shootout grid (2..1024 nodes; past 64
+// the factory serves the BitSet<1024> wide directory):
 //
 //   * full replay-engine fingerprints (both camps, looped/warmup mode),
 //     where any bookkeeping drift compounds over millions of events;
@@ -33,16 +34,48 @@ using memsim::AccessResult;
 using memsim::HierarchyConfig;
 using memsim::HierarchyStats;
 
-// The fig8-style core-count axis. 64 is the sharers-bitmap width limit.
-constexpr uint32_t kCoreCounts[] = {2, 8, 16, 64};
+// The fig8-style core-count axis, extended to the shootout grid's wide
+// machines: 64 is the single-word sharers width, 256/1024 exercise the
+// BitSet<1024> directory against the width-independent snoop arm.
+constexpr uint32_t kCoreCounts[] = {2, 8, 16, 64, 256, 1024};
+
+// Sanitizer builds run the same node axis (the wide-directory paths are
+// exactly what ASan should see) over proportionally fewer events, so the
+// suite stays inside its ctest timeout at ~7x per-event cost.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr size_t kSanScale = 8;
+#else
+constexpr size_t kSanScale = 1;
+#endif
 
 HierarchyConfig SmpConfig(uint32_t cores, uint64_t l2_bytes) {
   HierarchyConfig hc;
   hc.num_cores = cores;
-  // Modest per-node L2: 64 nodes x multi-MB arrays would dominate test
-  // memory without adding coverage.
+  // Modest per-node L2, shrunk further on the wide machines: 1024 nodes
+  // x multi-MB arrays would dominate test memory without adding coverage.
+  if (cores > 64 && l2_bytes > 256 * 1024) l2_bytes = 256 * 1024;
   hc.l2 = memsim::CacheConfig{l2_bytes, 8, 64};
   return hc;
+}
+
+/// Directory arm via the factory, so each core count gets the same
+/// instantiation (narrow or wide) a real experiment would run.
+std::unique_ptr<memsim::MemoryHierarchy> MakeDir(const HierarchyConfig& hc) {
+  auto h = memsim::MakeSmpHierarchy(hc);
+  // Guard against the factory silently degrading to snoop (which would
+  // make the equivalence tests vacuous).
+  EXPECT_EQ(dynamic_cast<memsim::PrivateL2SnoopHierarchy*>(h.get()), nullptr);
+  return h;
+}
+
+std::string DirInvariants(memsim::MemoryHierarchy* h) {
+  if (auto* n = dynamic_cast<memsim::PrivateL2Hierarchy*>(h)) {
+    return n->CheckDirectoryInvariants();
+  }
+  if (auto* w = dynamic_cast<memsim::PrivateL2HierarchyWide*>(h)) {
+    return w->CheckDirectoryInvariants();
+  }
+  return "not a directory hierarchy";
 }
 
 /// Serializes every HierarchyStats counter (and the per-level hit rates,
@@ -84,8 +117,10 @@ coresim::SimResult RunReplay(memsim::MemoryHierarchy* h, uint32_t cores,
   sc.core = lean ? coresim::CoreParams::Lean() : coresim::CoreParams::Fat();
   sc.num_cores = cores;
   sc.loop_traces = looped;
-  sc.max_instructions = looped ? 2'000'000 : 0;
-  sc.warmup_instructions = looped ? 500'000 : 0;
+  // Looped cost is bounded by the instruction budget, not the trace
+  // length, so the sanitizer scale applies here too.
+  sc.max_instructions = looped ? 2'000'000 / kSanScale : 0;
+  sc.warmup_instructions = looped ? 500'000 / kSanScale : 0;
   coresim::CmpSimulator sim(sc, h, ptrs);
   return sim.Run();
 }
@@ -98,17 +133,18 @@ TEST_P(DirectoryEquivalenceTest, ReplayFingerprintsBitIdentical) {
   // participates in the coherence traffic.
   const std::vector<trace::ClientTrace> traces =
       synthetic::MakeTraces(/*seed=*/17, /*clients=*/cores,
-                            /*events_per_client=*/1'000'000 / cores);
+                            /*events_per_client=*/1'000'000 / kSanScale / cores);
   const HierarchyConfig hc = SmpConfig(cores, 1ull << 20);
 
   for (const bool lean : {false, true}) {
-    memsim::PrivateL2Hierarchy dir(hc);
+    auto dir = MakeDir(hc);
     memsim::PrivateL2SnoopHierarchy sno(hc);
-    const coresim::SimResult rd = RunReplay(&dir, cores, traces, lean, false);
+    const coresim::SimResult rd =
+        RunReplay(dir.get(), cores, traces, lean, false);
     const coresim::SimResult rs = RunReplay(&sno, cores, traces, lean, false);
     EXPECT_EQ(synthetic::Fingerprint(rd), synthetic::Fingerprint(rs))
         << cores << " cores, " << (lean ? "LC" : "FC");
-    EXPECT_EQ(dir.CheckDirectoryInvariants(), "");
+    EXPECT_EQ(DirInvariants(dir.get()), "");
   }
 }
 
@@ -118,15 +154,16 @@ TEST_P(DirectoryEquivalenceTest, LoopedReplayBitIdentical) {
   const uint32_t cores = GetParam();
   const std::vector<trace::ClientTrace> traces =
       synthetic::MakeTraces(/*seed=*/29, /*clients=*/cores,
-                            /*events_per_client=*/250'000 / cores);
+                            /*events_per_client=*/250'000 / kSanScale / cores);
   const HierarchyConfig hc = SmpConfig(cores, 1ull << 20);
-  memsim::PrivateL2Hierarchy dir(hc);
+  auto dir = MakeDir(hc);
   memsim::PrivateL2SnoopHierarchy sno(hc);
-  const coresim::SimResult rd = RunReplay(&dir, cores, traces, false, true);
+  const coresim::SimResult rd =
+      RunReplay(dir.get(), cores, traces, false, true);
   const coresim::SimResult rs = RunReplay(&sno, cores, traces, false, true);
   EXPECT_EQ(synthetic::Fingerprint(rd), synthetic::Fingerprint(rs))
       << cores << " cores, looped";
-  EXPECT_EQ(dir.CheckDirectoryInvariants(), "");
+  EXPECT_EQ(DirInvariants(dir.get()), "");
 }
 
 // ---------------------------------------------------------------------------
@@ -138,12 +175,16 @@ TEST_P(DirectoryEquivalenceTest, DirectDriveLockstepUnderEvictionChurn) {
   HierarchyConfig hc = SmpConfig(cores, 32 * 1024);
   hc.l1i = memsim::CacheConfig{2 * 1024, 2, 64};
   hc.l1d = memsim::CacheConfig{2 * 1024, 2, 64};
-  memsim::PrivateL2Hierarchy dir(hc);
+  auto dirp = MakeDir(hc);
+  memsim::MemoryHierarchy& dir = *dirp;
   memsim::PrivateL2SnoopHierarchy sno(hc);
 
   Rng rng(1234 + cores);
   uint64_t now = 0;
-  const size_t steps = 1'000'000 / (cores >= 16 ? 4 : 1);
+  // Scale the drive down as the snoop arm's O(cores) probes per miss
+  // scale up, so the widest machines stay CI-sized.
+  const size_t steps =
+      1'000'000 / kSanScale / (cores >= 256 ? 16 : cores >= 16 ? 4 : 1);
   for (size_t i = 0; i < steps; ++i) {
     const uint32_t node = static_cast<uint32_t>(rng.Next() % cores);
     const bool instr = (rng.Next() % 8) == 0;
@@ -175,7 +216,7 @@ TEST_P(DirectoryEquivalenceTest, DirectDriveLockstepUnderEvictionChurn) {
     }
   }
   EXPECT_EQ(StatsFingerprint(dir), StatsFingerprint(sno));
-  EXPECT_EQ(dir.CheckDirectoryInvariants(), "");
+  EXPECT_EQ(DirInvariants(&dir), "");
   EXPECT_EQ(sno.CheckDirectoryInvariants(), "");  // snoop arm: dir empty
 }
 

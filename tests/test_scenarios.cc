@@ -310,5 +310,66 @@ TEST(TrafficInvariants, CoTenantInterferenceNeverImprovesMissRates) {
   EXPECT_GE(co.tenants[1].data_offchip_rate(), alone_ycsb) << "tenant B";
 }
 
+// --- Shared-bus scaling invariants ----------------------------------------
+
+// The shootout grid's central claim, scaled to test size: with the
+// shared-bus occupancy model on, the SMP's mean queue delay rises
+// monotonically and super-linearly with node count (the coherence-limited
+// knee), the matched CMP's banked-fabric queueing stays far below it at
+// every node count, and the flat-latency reference arm still reports the
+// historical constant-zero SMP queue delays.
+TEST(BusScalingInvariants, SmpQueueDelayKneeGrowsWhileCmpStaysFlat) {
+  constexpr uint32_t kNodes[] = {8, 32, 128};
+  double smp_queue[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    const uint32_t n = kNodes[i];
+    // One client per node (an idle node would dilute the offered load),
+    // windows scaled with the machine — the shootout cells in miniature.
+    harness::TraceSetConfig tc;
+    tc.workload = harness::WorkloadKind::kOltp;
+    tc.clients = n;
+    tc.requests_per_client = 2;
+    tc.seed = 13;
+    const harness::TraceSet traces = TraceCache::Factory()->Build(tc);
+
+    harness::ExperimentConfig smp;
+    smp.camp = coresim::Camp::kFat;
+    smp.cores = n;
+    smp.topology = harness::Topology::kSmpPrivate;
+    smp.l2_bytes = 256ull << 10;  // per node
+    smp.smp_bus_model = true;
+    smp.measure_instructions = 50'000ull * n;
+    smp.warmup_instructions = 25'000ull * n;
+    const coresim::SimResult rs = harness::RunExperiment(smp, traces);
+    smp_queue[i] = rs.mem.queue_delay.mean();
+    EXPECT_GT(rs.mem.bus_transactions, 0u) << n << " nodes";
+    EXPECT_GT(rs.mem.queue_delay.sum(), 0u) << n << " nodes";
+
+    harness::ExperimentConfig cmp = smp;
+    cmp.topology = harness::Topology::kCmpShared;
+    cmp.l2_bytes = 16ull << 20;  // one shared L2
+    cmp.l2_ports = n / 4 < 8 ? 8 : n / 4;  // ports scale with the tiles
+    const coresim::SimResult rc = harness::RunExperiment(cmp, traces);
+    EXPECT_EQ(rc.mem.bus_transactions, 0u) << n << " nodes";
+    // Matched node counts: the CMP's (port-model) queueing stays far
+    // under the serialized bus at every point of the grid.
+    EXPECT_LT(rc.mem.queue_delay.mean() * 3, smp_queue[i]) << n << " nodes";
+
+    // Reference arm: same machine, bus model off — queue delays are the
+    // historical constant zero and the bus counters never move.
+    harness::ExperimentConfig flat = smp;
+    flat.smp_bus_model = false;
+    const coresim::SimResult rf = harness::RunExperiment(flat, traces);
+    EXPECT_EQ(rf.mem.queue_delay.count(), 0u) << n << " nodes";
+    EXPECT_EQ(rf.mem.bus_transactions, 0u) << n << " nodes";
+    EXPECT_EQ(rf.mem.bus_busy_cycles, 0u) << n << " nodes";
+  }
+  // Monotone and super-linear: 16x the nodes must cost well over 16x the
+  // mean queue delay (the full shootout observes ~50x over this span).
+  EXPECT_GT(smp_queue[1], smp_queue[0] * 2) << "8 -> 32 nodes";
+  EXPECT_GT(smp_queue[2], smp_queue[1] * 2) << "32 -> 128 nodes";
+  EXPECT_GT(smp_queue[2], smp_queue[0] * 16) << "8 -> 128 nodes";
+}
+
 }  // namespace
 }  // namespace stagedcmp::scenario

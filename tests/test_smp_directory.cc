@@ -41,28 +41,28 @@ TEST(SmpDirectoryTest, TracksWriteReadAndUpgradeTransitions) {
   h.AccessData(0, addr, true, 0);
   const SmpDirEntry* e = Entry(h, addr);
   ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->sharers, 0b1u);
+  EXPECT_EQ(e->sharers.word(0), 0b1u);
   EXPECT_EQ(e->dirty_owner, 0);
 
   // Node 1 reads: dirty owner downgraded, both share.
   EXPECT_EQ(h.AccessData(1, addr, false, 10).cls, AccessClass::kCoherence);
   e = Entry(h, addr);
   ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->sharers, 0b11u);
+  EXPECT_EQ(e->sharers.word(0), 0b11u);
   EXPECT_EQ(e->dirty_owner, -1);
 
   // Node 2 reads the now-clean line: three sharers, still no owner.
   EXPECT_EQ(h.AccessData(2, addr, false, 20).cls, AccessClass::kOffChip);
   e = Entry(h, addr);
   ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->sharers, 0b111u);
+  EXPECT_EQ(e->sharers.word(0), 0b111u);
   EXPECT_EQ(e->dirty_owner, -1);
 
   // Node 1 upgrades (write to Shared): peers invalidated, sole owner.
   EXPECT_EQ(h.AccessData(1, addr, true, 30).cls, AccessClass::kCoherence);
   e = Entry(h, addr);
   ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->sharers, 0b10u);
+  EXPECT_EQ(e->sharers.word(0), 0b10u);
   EXPECT_EQ(e->dirty_owner, 1);
 
   EXPECT_EQ(h.CheckDirectoryInvariants(), "");
@@ -75,7 +75,7 @@ TEST(SmpDirectoryTest, ExclusiveStaysCleanUntilTheL2CopyIsWritten) {
   h.AccessData(3, addr, false, 0);  // fills Exclusive (no remote holder)
   const SmpDirEntry* e = Entry(h, addr);
   ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->sharers, 0b1000u);
+  EXPECT_EQ(e->sharers.word(0), 0b1000u);
   EXPECT_EQ(e->dirty_owner, -1);  // Exclusive is clean
 
   // A write now hits the L1 copy (Exclusive is writable): the L1 goes
@@ -126,22 +126,34 @@ TEST(SmpDirectoryTest, EvictionClearsSharerBitAndErasesEmptyEntries) {
   h.AccessData(0, base + 4 * set_stride, false, 6);  // evicts 1*stride @node0
   const SmpDirEntry* e = Entry(h, base + 1 * set_stride);
   ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->sharers, 0b10u);  // node 1 still holds it
+  EXPECT_EQ(e->sharers.word(0), 0b10u);  // node 1 still holds it
   EXPECT_EQ(h.CheckDirectoryInvariants(), "");
 }
 
-// The sharers bitmap is one u64: machines past 64 nodes must come out of
-// the factory as the (limit-free) snoop arm, never as a directory whose
-// bit shifts would wrap.
-TEST(SmpDirectoryTest, FactoryFallsBackToSnoopPast64Nodes) {
+// Factory width routing: up to 64 nodes uses the single-word directory
+// (the instantiation whose hot path compiles to the historical scalar
+// masks), 65..1024 the BitSet<1024> wide directory, and only machines
+// past the wide cap fall back to the (limit-free) snoop arm.
+TEST(SmpDirectoryTest, FactoryRoutesWidthsAndFallsBackPast1024Nodes) {
   HierarchyConfig cfg = TinyConfig(64);
   auto at_cap = MakeSmpHierarchy(cfg);
   EXPECT_NE(dynamic_cast<PrivateL2Hierarchy*>(at_cap.get()), nullptr);
-  cfg.num_cores = 65;
+  for (uint32_t n : {65u, 256u, 1024u}) {
+    cfg.num_cores = n;
+    auto wide = MakeSmpHierarchy(cfg);
+    EXPECT_NE(dynamic_cast<PrivateL2HierarchyWide*>(wide.get()), nullptr)
+        << n << " nodes";
+    // The wide directory simulates correctly with a top-node sharer.
+    wide->AccessData(n - 1, 0x6000, true, 0);
+    EXPECT_EQ(wide->AccessData(0, 0x6000, false, 10).cls,
+              AccessClass::kCoherence)
+        << n << " nodes";
+  }
+  cfg.num_cores = 1025;
   auto over_cap = MakeSmpHierarchy(cfg);
   EXPECT_NE(dynamic_cast<PrivateL2SnoopHierarchy*>(over_cap.get()), nullptr);
-  // The snoop arm still simulates correctly at 65 nodes.
-  over_cap->AccessData(64, 0x6000, true, 0);
+  // The snoop arm still simulates correctly at 1025 nodes.
+  over_cap->AccessData(1024, 0x6000, true, 0);
   EXPECT_EQ(over_cap->AccessData(0, 0x6000, false, 10).cls,
             AccessClass::kCoherence);
 }
@@ -184,6 +196,33 @@ TEST_P(SmpDirectoryChurnTest, OracleCleanUnderEvictionChurn) {
 
 INSTANTIATE_TEST_SUITE_P(Nodes, SmpDirectoryChurnTest,
                          ::testing::Values(2u, 4u, 8u, 64u));
+
+// Same oracle churn on the wide (BitSet<1024>) directory with a node
+// count past the single-word cap, so multi-word sharer bookkeeping — the
+// upper words' set/clear/walk paths — faces the same eviction storm.
+TEST(SmpDirectoryWideChurnTest, OracleCleanUnderEvictionChurn) {
+  const uint32_t cores = 96;  // bits span two 64-bit words
+  PrivateL2HierarchyWide h(TinyConfig(cores));
+  Rng rng(7 * cores + 1);
+  uint64_t now = 0;
+  for (int step = 0; step < 120'000; ++step) {
+    const uint32_t node = static_cast<uint32_t>(rng.Next() % cores);
+    const uint64_t addr = 0x10000 + (rng.Next() % 4096) * 64;
+    const uint32_t kind = static_cast<uint32_t>(rng.Next() % 10);
+    if (kind == 0) {
+      h.AccessInstr(node, addr, now);
+    } else {
+      h.AccessData(node, addr, kind < 4, now);
+    }
+    ++now;
+    if (step % 5000 == 4999) {
+      ASSERT_EQ(h.CheckDirectoryInvariants(), "") << "after step " << step;
+    }
+  }
+  ASSERT_EQ(h.CheckDirectoryInvariants(), "");
+  EXPECT_GT(h.stats().invalidations, 0u);
+  EXPECT_GT(h.stats().writebacks, 0u);
+}
 
 }  // namespace
 }  // namespace stagedcmp::memsim
